@@ -1,0 +1,208 @@
+// The root benchmarks regenerate every reproduction experiment
+// (one Benchmark per table/claim, E1–E11; see DESIGN.md §5 and
+// EXPERIMENTS.md) plus micro-benchmarks of the communication primitives.
+//
+// Run with: go test -bench=. -benchmem
+package topkmon
+
+import (
+	"fmt"
+	"testing"
+
+	"topkmon/internal/cluster"
+	"topkmon/internal/eps"
+	"topkmon/internal/exp"
+	"topkmon/internal/filter"
+	"topkmon/internal/lockstep"
+	"topkmon/internal/offline"
+	"topkmon/internal/oracle"
+	"topkmon/internal/protocol"
+	"topkmon/internal/rngx"
+	"topkmon/internal/sim"
+	"topkmon/internal/stream"
+	"topkmon/internal/wire"
+)
+
+// benchExperiment runs one registered experiment per iteration (quick mode).
+func benchExperiment(b *testing.B, id string) {
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(exp.Options{Quick: true, Seed: uint64(i) + 1})
+		if len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+func BenchmarkE1Existence(b *testing.B)        { benchExperiment(b, "E1") }
+func BenchmarkE2MaxFind(b *testing.B)          { benchExperiment(b, "E2") }
+func BenchmarkE3ExactCompetitive(b *testing.B) { benchExperiment(b, "E3") }
+func BenchmarkE4TopKProtocol(b *testing.B)     { benchExperiment(b, "E4") }
+func BenchmarkE5LowerBound(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE6Dense(b *testing.B)            { benchExperiment(b, "E6") }
+func BenchmarkE7HalfEps(b *testing.B)          { benchExperiment(b, "E7") }
+func BenchmarkE8EpsilonSavings(b *testing.B)   { benchExperiment(b, "E8") }
+func BenchmarkE9PhaseAblation(b *testing.B)    { benchExperiment(b, "E9") }
+func BenchmarkE10Compliance(b *testing.B)      { benchExperiment(b, "E10") }
+func BenchmarkE11SweepAblation(b *testing.B)   { benchExperiment(b, "E11") }
+
+// --- micro-benchmarks of the primitives ---
+
+// BenchmarkSweepSilent measures the zero-violation fast path of the
+// EXISTENCE sweep (the steady-state cost of a quiet time step).
+func BenchmarkSweepSilent(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e := lockstep.New(n, 1)
+			e.Advance(make([]int64, n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := e.Sweep(wire.Violating()); got != nil {
+					b.Fatal("unexpected senders")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepOneViolator measures detection latency with one violator.
+func BenchmarkSweepOneViolator(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e := lockstep.New(n, 1)
+			vals := make([]int64, n)
+			e.Advance(vals)
+			e.Node(3).SetFilter(filter.Make(5, 10))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := e.Sweep(wire.Violating()); len(got) == 0 {
+					b.Fatal("missed violator")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFindMax measures Lemma 2.6's protocol end to end.
+func BenchmarkFindMax(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e := lockstep.New(n, 1)
+			vals := make([]int64, n)
+			r := rngx.New(9)
+			for i := range vals {
+				vals[i] = r.Int63n(1 << 30)
+			}
+			e.Advance(vals)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := protocol.FindMax(e, true); !ok {
+					b.Fatal("no max")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMonitorStep measures full per-step cost of each monitor on a
+// moderately active workload (n=64, k=8).
+func BenchmarkMonitorStep(b *testing.B) {
+	const n, k = 64, 8
+	e := eps.MustNew(1, 8)
+	monitors := []struct {
+		name string
+		mk   func(cluster.Cluster) protocol.Monitor
+	}{
+		{"exact-mid", func(c cluster.Cluster) protocol.Monitor { return protocol.NewExactMid(c, k) }},
+		{"topk", func(c cluster.Cluster) protocol.Monitor { return protocol.NewTopKProto(c, k, e) }},
+		{"approx", func(c cluster.Cluster) protocol.Monitor { return protocol.NewApprox(c, k, e) }},
+		{"half-eps", func(c cluster.Cluster) protocol.Monitor { return protocol.NewHalfEps(c, k, e) }},
+		{"naive", func(c cluster.Cluster) protocol.Monitor { return protocol.NewNaive(c, k) }},
+	}
+	for _, m := range monitors {
+		b.Run(m.name, func(b *testing.B) {
+			gen := stream.NewWalk(n, 100000, 500, 1<<24, 13)
+			eng := lockstep.New(n, 5)
+			mon := m.mk(eng)
+			eng.Advance(gen.Next(0))
+			mon.Start()
+			eng.EndStep()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Advance(gen.Next(i + 1))
+				mon.HandleStep()
+				eng.EndStep()
+			}
+		})
+	}
+}
+
+// BenchmarkOracle measures the per-step ground-truth computation.
+func BenchmarkOracle(b *testing.B) {
+	const n, k = 1024, 16
+	vals := make([]int64, n)
+	r := rngx.New(3)
+	for i := range vals {
+		vals[i] = r.Int63n(1 << 30)
+	}
+	e := eps.MustNew(1, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := oracle.Compute(vals, k, e)
+		if tr.VK == 0 {
+			b.Fatal("bogus truth")
+		}
+	}
+}
+
+// BenchmarkOfflineSolve measures the offline optimum segmentation.
+func BenchmarkOfflineSolve(b *testing.B) {
+	const n, k, T = 64, 8, 500
+	gen := stream.NewWalk(n, 100000, 800, 1<<24, 21)
+	matrix := make([][]int64, T)
+	for t := range matrix {
+		matrix[t] = gen.Next(t)
+	}
+	e := eps.MustNew(1, 8)
+	inst, err := offline.NewInstance(matrix, k, e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := inst.Solve()
+		if len(res.Segments) == 0 {
+			b.Fatal("no segments")
+		}
+	}
+}
+
+// BenchmarkEndToEndRun measures a complete simulated run (400 steps, n=32)
+// through the sim harness including validation.
+func BenchmarkEndToEndRun(b *testing.B) {
+	const n, k, steps = 32, 4, 400
+	e := eps.MustNew(1, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(sim.Config{
+			K: k, Eps: e, Steps: steps, Seed: uint64(i),
+			Gen: stream.NewLoads(n, 1000, 40, 0.01, 4000, 1<<20, uint64(i)+7),
+			NewMonitor: func(c cluster.Cluster) protocol.Monitor {
+				return protocol.NewApprox(c, k, e)
+			},
+			Validate: sim.ValidateEps,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command bench regenerates every reproduction experiment (E1–E10): for
+// each paper claim it runs the corresponding workloads and prints the
+// measured tables, optionally writing text and CSV copies.
+//
+// Usage:
+//
+//	bench [-quick] [-only E4] [-seed 1] [-out results/] [-figures=false]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"topkmon/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sweeps and trial counts")
+	only := flag.String("only", "", "run a single experiment id (e.g. E4)")
+	seed := flag.Uint64("seed", 1, "root random seed")
+	out := flag.String("out", "", "directory for .txt/.csv copies of each table")
+	figures := flag.Bool("figures", true, "render ASCII figures after each experiment's tables")
+	flag.Parse()
+
+	opts := exp.Options{Quick: *quick, Seed: *seed}
+	experiments := exp.All()
+	if *only != "" {
+		e, ok := exp.ByID(*only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q\n", *only)
+			os.Exit(2)
+		}
+		experiments = []exp.Experiment{e}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range experiments {
+		start := time.Now()
+		fmt.Printf("### %s — %s\n", e.ID, e.Title)
+		fmt.Printf("    claim: %s\n\n", e.Claim)
+		tables := e.Run(opts)
+		for ti, tb := range tables {
+			fmt.Println(tb.String())
+			if *out != "" {
+				base := filepath.Join(*out, fmt.Sprintf("%s_%d", strings.ToLower(e.ID), ti))
+				if err := os.WriteFile(base+".txt", []byte(tb.String()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+					os.Exit(1)
+				}
+				if err := os.WriteFile(base+".csv", []byte(tb.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		if *figures {
+			for fi, fig := range exp.RenderFigures(e.ID, tables) {
+				fmt.Println(fig)
+				if *out != "" {
+					base := filepath.Join(*out, fmt.Sprintf("%s_fig%d.txt", strings.ToLower(e.ID), fi))
+					if err := os.WriteFile(base, []byte(fig), 0o644); err != nil {
+						fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+						os.Exit(1)
+					}
+				}
+			}
+		}
+		fmt.Printf("    (%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,194 @@
+// Command topkmon runs a live ε-Top-k monitoring session: one goroutine per
+// node over channels (the live engine), a chosen workload, and a chosen
+// monitoring algorithm, reporting the output set and the communication
+// spent as the stream evolves.
+//
+// Usage:
+//
+//	topkmon [-n 32] [-k 4] [-eps 1/8] [-steps 2000] [-workload loads]
+//	        [-monitor approx] [-seed 7] [-report 200] [-engine live]
+//	topkmon -scenario run.json [-engine lockstep]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"topkmon/internal/cluster"
+	"topkmon/internal/eps"
+	"topkmon/internal/live"
+	"topkmon/internal/lockstep"
+	"topkmon/internal/metrics"
+	"topkmon/internal/oracle"
+	"topkmon/internal/protocol"
+	"topkmon/internal/scenario"
+	"topkmon/internal/stream"
+)
+
+func main() {
+	n := flag.Int("n", 32, "number of nodes")
+	k := flag.Int("k", 4, "size of the monitored top set")
+	epsStr := flag.String("eps", "1/8", "allowed error ε as a fraction p/q (0/1 = exact)")
+	steps := flag.Int("steps", 2000, "time steps to run")
+	workload := flag.String("workload", "loads", "workload: loads|walk|jumps|oscillator")
+	monitor := flag.String("monitor", "approx", "algorithm: approx|topk|exact-mid|half-eps|naive|mid-naive")
+	seed := flag.Uint64("seed", 7, "random seed")
+	report := flag.Int("report", 200, "status line every this many steps")
+	engine := flag.String("engine", "live", "engine: live (goroutines) | lockstep")
+	scenarioPath := flag.String("scenario", "", "run a JSON scenario file instead of the flag-based setup")
+	flag.Parse()
+
+	var (
+		gen stream.Generator
+		e   eps.Eps
+		err error
+		mkM func(cluster.Cluster) (protocol.Monitor, error)
+	)
+	if *scenarioPath != "" {
+		f, ferr := os.Open(*scenarioPath)
+		if ferr != nil {
+			fail(ferr)
+		}
+		spec, serr := scenario.Parse(f)
+		f.Close()
+		if serr != nil {
+			fail(serr)
+		}
+		gen, err = spec.BuildGenerator()
+		if err != nil {
+			fail(err)
+		}
+		e = spec.Eps()
+		*k = spec.K
+		*steps = spec.Steps
+		*seed = spec.Seed
+		*n = gen.N()
+		mkM = spec.BuildMonitor
+	} else {
+		e, err = parseEps(*epsStr)
+		if err != nil {
+			fail(err)
+		}
+		gen, err = makeWorkload(*workload, *n, *seed)
+		if err != nil {
+			fail(err)
+		}
+		mkM = func(c cluster.Cluster) (protocol.Monitor, error) {
+			return makeMonitor(*monitor, c, *k, e)
+		}
+	}
+
+	var eng cluster.Engine
+	switch *engine {
+	case "live":
+		lc := live.New(*n, *seed)
+		defer lc.Close()
+		eng = lc
+	case "lockstep":
+		eng = lockstep.New(*n, *seed)
+	default:
+		fail(fmt.Errorf("unknown engine %q", *engine))
+	}
+
+	mon, err := mkM(eng)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("topkmon: %s on %s, n=%d k=%d ε=%s engine=%s\n",
+		mon.Name(), gen.Name(), *n, *k, e, *engine)
+
+	adaptive, _ := gen.(stream.Adaptive)
+	var invalid int
+	for t := 0; t < *steps; t++ {
+		if adaptive != nil {
+			adaptive.ObserveFilters(eng.Filters(), mon.Output())
+		}
+		vals := gen.Next(t)
+		eng.Advance(vals)
+		if t == 0 {
+			mon.Start()
+		} else {
+			mon.HandleStep()
+		}
+		truth := oracle.Compute(vals, *k, e)
+		if err := truth.ValidateEps(mon.Output()); err != nil {
+			invalid++
+			fmt.Printf("step %6d: INVALID OUTPUT: %v\n", t, err)
+		}
+		eng.EndStep()
+		if *report > 0 && (t+1)%*report == 0 {
+			c := eng.Counters()
+			fmt.Printf("step %6d: top-%d=%v  v_k=%d  σ=%d  msgs=%d (%.3f/step)\n",
+				t+1, *k, mon.Output(), truth.VK, truth.Sigma,
+				c.Total(), float64(c.Total())/float64(t+1))
+		}
+	}
+
+	c := eng.Counters()
+	fmt.Printf("\nfinished %d steps; epochs=%d, invalid outputs=%d\n", *steps, mon.Epochs(), invalid)
+	fmt.Printf("messages: total=%d  node→server=%d  unicast=%d  broadcast=%d\n",
+		c.Total(), c.ByChannel(metrics.NodeToServer),
+		c.ByChannel(metrics.ServerToNode), c.ByChannel(metrics.Broadcast))
+	fmt.Printf("max rounds/step=%d  max message bits=%d\n", c.MaxRoundsPerStep(), c.MaxBits())
+	fmt.Printf("by kind:\n")
+	for _, kind := range c.Kinds() {
+		fmt.Printf("  %-18s %d\n", kind, c.ByKind(kind))
+	}
+}
+
+func parseEps(s string) (eps.Eps, error) {
+	parts := strings.SplitN(s, "/", 2)
+	if len(parts) != 2 {
+		return eps.Eps{}, fmt.Errorf("eps must be p/q, got %q", s)
+	}
+	p, err1 := strconv.ParseInt(parts[0], 10, 64)
+	q, err2 := strconv.ParseInt(parts[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		return eps.Eps{}, fmt.Errorf("eps must be p/q, got %q", s)
+	}
+	return eps.New(p, q)
+}
+
+func makeWorkload(name string, n int, seed uint64) (stream.Generator, error) {
+	switch name {
+	case "loads":
+		return stream.NewLoads(n, 1000, 40, 0.01, 4000, 1<<20, seed+100), nil
+	case "walk":
+		return stream.NewWalk(n, 10000, 200, 1<<20, seed+100), nil
+	case "jumps":
+		return stream.NewJumps(n, 100, 100000, seed+100), nil
+	case "oscillator":
+		dense := n - n/4 - 4
+		return stream.NewOscillator(4, dense, n/4, 10000, 400, 1<<20, 100, seed+100), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func makeMonitor(name string, c cluster.Cluster, k int, e eps.Eps) (protocol.Monitor, error) {
+	switch name {
+	case "approx":
+		return protocol.NewApprox(c, k, e), nil
+	case "topk":
+		return protocol.NewTopKProto(c, k, e), nil
+	case "exact-mid":
+		return protocol.NewExactMid(c, k), nil
+	case "half-eps":
+		return protocol.NewHalfEps(c, k, e), nil
+	case "naive":
+		return protocol.NewNaive(c, k), nil
+	case "mid-naive":
+		return protocol.NewMidNaive(c, k), nil
+	default:
+		return nil, fmt.Errorf("unknown monitor %q", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "topkmon: %v\n", err)
+	os.Exit(2)
+}

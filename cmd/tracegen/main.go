@@ -1,0 +1,154 @@
+// Command tracegen materialises workload traces (CSV or compact binary)
+// for offline analysis or replay, and can price the offline optimum of an
+// existing trace.
+//
+// Usage:
+//
+//	tracegen -workload oscillator -n 24 -steps 1000 -out trace.csv
+//	tracegen -workload walk -steps 5000 -format bin -out trace.tkmt
+//	tracegen -solve trace.csv -k 4 -eps 1/8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"topkmon/internal/eps"
+	"topkmon/internal/offline"
+	"topkmon/internal/stream"
+	"topkmon/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "walk", "workload: loads|walk|jumps|oscillator")
+	n := flag.Int("n", 16, "number of nodes")
+	steps := flag.Int("steps", 1000, "steps to generate")
+	seed := flag.Uint64("seed", 1, "random seed")
+	format := flag.String("format", "csv", "output format: csv|bin")
+	out := flag.String("out", "", "output path (default stdout)")
+	solve := flag.String("solve", "", "price the offline optimum of this trace instead")
+	k := flag.Int("k", 4, "k for -solve")
+	epsStr := flag.String("eps", "1/8", "ε for -solve (p/q)")
+	flag.Parse()
+
+	if *solve != "" {
+		if err := solveTrace(*solve, *k, *epsStr); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	gen, err := makeWorkload(*workload, *n, *seed)
+	if err != nil {
+		fail(err)
+	}
+	values := make([][]int64, *steps)
+	for t := 0; t < *steps; t++ {
+		values[t] = gen.Next(t)
+	}
+	tr, err := trace.New(values)
+	if err != nil {
+		fail(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "csv":
+		err = tr.WriteCSV(w)
+	case "bin":
+		err = tr.WriteBinary(w)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func solveTrace(path string, k int, epsStr string) error {
+	e, err := parseEps(epsStr)
+	if err != nil {
+		return err
+	}
+	tr, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	inst, err := offline.NewInstance(tr.Values, k, e)
+	if err != nil {
+		return err
+	}
+	res := inst.Solve()
+	fmt.Printf("trace: %d steps × %d nodes, k=%d ε=%s\n", inst.T(), inst.N(), k, e)
+	fmt.Printf("OPT segments=%d breaks=%d realistic-cost=%d σ=%d\n",
+		len(res.Segments), res.Breaks, res.Realistic, inst.SigmaMax())
+	return nil
+}
+
+// loadTrace sniffs the format from the magic header.
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var head [4]byte
+	if _, err := f.Read(head[:]); err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	if string(head[:]) == "TKMT" {
+		return trace.ReadBinary(f)
+	}
+	return trace.ReadCSV(f)
+}
+
+func parseEps(s string) (eps.Eps, error) {
+	parts := strings.SplitN(s, "/", 2)
+	if len(parts) != 2 {
+		return eps.Eps{}, fmt.Errorf("eps must be p/q, got %q", s)
+	}
+	p, err1 := strconv.ParseInt(parts[0], 10, 64)
+	q, err2 := strconv.ParseInt(parts[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		return eps.Eps{}, fmt.Errorf("eps must be p/q, got %q", s)
+	}
+	return eps.New(p, q)
+}
+
+func makeWorkload(name string, n int, seed uint64) (stream.Generator, error) {
+	switch name {
+	case "loads":
+		return stream.NewLoads(n, 1000, 40, 0.01, 4000, 1<<20, seed), nil
+	case "walk":
+		return stream.NewWalk(n, 10000, 200, 1<<20, seed), nil
+	case "jumps":
+		return stream.NewJumps(n, 100, 100000, seed), nil
+	case "oscillator":
+		dense := n - n/4 - 4
+		if dense < 1 {
+			return nil, fmt.Errorf("n too small for oscillator")
+		}
+		return stream.NewOscillator(4, dense, n/4, 10000, 400, 1<<20, 100, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(2)
+}

@@ -1,0 +1,35 @@
+// Package topkmon is a complete Go implementation of "On Competitive
+// Algorithms for Approximations of Top-k-Position Monitoring of Distributed
+// Streams" (Mäcker, Malatyali, Meyer auf der Heide, 2016).
+//
+// n distributed nodes each observe a private integer stream; a server must
+// continuously know an ε-approximate set of the k nodes holding the largest
+// values while spending as few messages as possible. The implementation
+// covers every protocol the paper defines — the EXISTENCE sweep (Lemma 3.1),
+// maximum computation (Lemma 2.6), the exact monitor (Corollary 3.3),
+// TOP-K-PROTOCOL with its four phases (Section 4), DENSEPROTOCOL and
+// SUBPROTOCOL (Section 5.2), the Theorem 5.8 controller, and the
+// Corollary 5.9 half-error monitor — plus the offline optimal adversary the
+// competitive analyses compare against, the Theorem 5.1 lower-bound
+// adversary, and a benchmark harness (E1–E11) that reproduces the bound
+// shape of every theorem.
+//
+// Layout:
+//
+//	internal/protocol   the paper's algorithms (the core contribution)
+//	internal/lockstep   deterministic engine (tests, experiments)
+//	internal/live       goroutine-per-node engine (bit-identical semantics)
+//	internal/offline    the offline optimum OPT (greedy segmentation)
+//	internal/oracle     ground truth + output validation
+//	internal/stream     workloads and adaptive adversaries
+//	internal/sim        run harness; internal/exp: experiments E1–E11
+//	cmd/topkmon         live monitoring CLI; cmd/bench: experiment tables;
+//	cmd/tracegen        trace generation / offline pricing
+//	examples/           five runnable end-to-end scenarios
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// documented interpretations of underspecified paper details, and
+// EXPERIMENTS.md for paper-vs-measured results. This file's package exists
+// to carry the module-level documentation and the root benchmark suite
+// (bench_test.go), which regenerates every experiment.
+package topkmon

@@ -1,0 +1,51 @@
+// Adversarial: the Theorem 5.1 lower bound, live. An adaptive adversary
+// watches the filters the server assigns and, each step, drops one
+// output-side node just far enough to violate — any filter-based online
+// algorithm is forced to spend a message per step, while the offline
+// optimum (which knows the future) re-filters once per phase for k+1
+// messages. The measured ratio grows linearly in σ/k, for every monitor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"topkmon/internal/cluster"
+	"topkmon/internal/eps"
+	"topkmon/internal/protocol"
+	"topkmon/internal/sim"
+	"topkmon/internal/stream"
+)
+
+func main() {
+	const k = 2
+	const phases = 5
+	e := eps.MustNew(1, 4)
+
+	fmt.Printf("Theorem 5.1 adversary: k=%d, ε=%s, %d phases per run\n\n", k, e, phases)
+	fmt.Printf("%8s  %10s  %12s  %14s  %8s\n",
+		"σ", "σ/k", "online msgs", "OPT realistic", "ratio")
+	for _, sigma := range []int{6, 12, 24, 48, 96} {
+		steps := phases * (sigma - k + 1)
+		rep, err := sim.Run(sim.Config{
+			K: k, Eps: e, Steps: steps, Seed: 5,
+			Gen: stream.NewLowerBound(sigma, 4, k, e, 1<<24),
+			NewMonitor: func(c cluster.Cluster) protocol.Monitor {
+				return protocol.NewApprox(c, k, e)
+			},
+			Validate:   sim.ValidateEps,
+			ComputeOPT: true, OPTEps: e,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt := rep.OPTRealistic
+		if opt < 1 {
+			opt = 1
+		}
+		fmt.Printf("%8d  %10.1f  %12d  %14d  %8.1f\n",
+			sigma, float64(sigma)/k, rep.Messages.Total(), opt,
+			float64(rep.Messages.Total())/float64(opt))
+	}
+	fmt.Println("\nthe ratio scales with σ — the Ω(σ/k) lower bound is real, not an artifact.")
+}

@@ -1,0 +1,84 @@
+// Sensornet: the approximation pay-off. A field of sensors reports a noisy
+// measurement; many readings oscillate right around the k-th largest value,
+// which is exactly the regime the paper's ε-relaxation targets — marginal,
+// noise-driven rank changes need not be communicated.
+//
+// The demo sweeps ε and shows communication collapsing once the
+// ε-neighborhood swallows the noise amplitude, while every output remains a
+// certified ε-Top-k set.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"topkmon/internal/cluster"
+	"topkmon/internal/eps"
+	"topkmon/internal/lockstep"
+	"topkmon/internal/oracle"
+	"topkmon/internal/protocol"
+	"topkmon/internal/stream"
+)
+
+const (
+	kTop  = 4
+	steps = 1200
+	base  = int64(20000) // the k-th sensor's level
+	noise = int64(600)   // ±3% measurement noise
+)
+
+func mkField(seed uint64) stream.Generator {
+	// 3 sensors clearly hot, 20 oscillating around base, 9 clearly cold.
+	return stream.NewOscillator(kTop-1, 20, 9, base, noise, base*50, base/50, seed)
+}
+
+func run(e eps.Eps, exact bool) (int64, string) {
+	gen := mkField(77)
+	engine := lockstep.New(gen.N(), 3)
+	var monitor protocol.Monitor
+	if exact {
+		gen = stream.Distinct{Inner: gen} // the exact problem needs distinct values
+		engine = lockstep.New(gen.N(), 3)
+		monitor = protocol.NewExactMid(engine, kTop)
+	} else {
+		monitor = protocol.NewApprox(cluster.Cluster(engine), kTop, e)
+	}
+	for t := 0; t < steps; t++ {
+		values := gen.Next(t)
+		engine.Advance(values)
+		if t == 0 {
+			monitor.Start()
+		} else {
+			monitor.HandleStep()
+		}
+		truth := oracle.Compute(values, kTop, e)
+		var err error
+		if exact {
+			err = truth.ValidateExact(monitor.Output())
+		} else {
+			err = truth.ValidateEps(monitor.Output())
+		}
+		if err != nil {
+			log.Fatalf("step %d: %v", t, err)
+		}
+		engine.EndStep()
+	}
+	return engine.Counters().Total(), monitor.Name()
+}
+
+func main() {
+	fmt.Printf("32 sensors, top-%d monitored for %d steps, noise ≈ ±%.1f%% of v_k\n\n",
+		kTop, steps, 100*float64(noise)/float64(base))
+	exactCost, name := run(eps.Zero, true)
+	fmt.Printf("%-18s ε=0      messages=%7d (%.2f/step)\n",
+		name, exactCost, float64(exactCost)/steps)
+	for _, e := range []eps.Eps{
+		eps.MustNew(1, 100), eps.MustNew(1, 32), eps.MustNew(1, 16),
+		eps.MustNew(1, 8), eps.MustNew(1, 4),
+	} {
+		cost, name := run(e, false)
+		fmt.Printf("%-18s ε=%-6s messages=%7d (%.2f/step)  %5.1fx cheaper than exact\n",
+			name, e, cost, float64(cost)/steps, float64(exactCost)/float64(cost))
+	}
+	fmt.Println("\nonce the ε-neighborhood covers the noise band, the monitor goes quiet.")
+}

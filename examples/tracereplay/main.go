@@ -1,0 +1,86 @@
+// Tracereplay: record a workload once, replay it through two monitors, and
+// price the offline optimum on the very same trace — the full
+// record/replay/compare loop a systems evaluation needs, exercising the
+// trace, sim, and offline packages end to end.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"topkmon/internal/cluster"
+	"topkmon/internal/eps"
+	"topkmon/internal/offline"
+	"topkmon/internal/protocol"
+	"topkmon/internal/sim"
+	"topkmon/internal/stream"
+	"topkmon/internal/trace"
+)
+
+const (
+	n     = 24
+	k     = 4
+	steps = 800
+)
+
+func main() {
+	e := eps.MustNew(1, 8)
+
+	// 1. Record: materialise a bursty load trace.
+	gen := stream.NewLoads(n, 2000, 60, 0.005, 8000, 1<<20, 33)
+	matrix := make([][]int64, steps)
+	for t := 0; t < steps; t++ {
+		matrix[t] = gen.Next(t)
+	}
+	tr, err := trace.New(matrix)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Round-trip through the compact binary format, as a file would.
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		log.Fatal(err)
+	}
+	encodedSize := buf.Len()
+	loaded, err := trace.ReadBinary(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d steps × %d nodes (%d bytes binary)\n\n",
+		loaded.T(), loaded.N(), encodedSize)
+
+	// 2. Replay through two monitors on the identical data.
+	run := func(name string, mk func(cluster.Cluster) protocol.Monitor) sim.Report {
+		rep, err := sim.Run(sim.Config{
+			K: k, Eps: e, Steps: loaded.T(), Seed: 5,
+			Gen:        stream.NewReplay("loads", loaded.Values),
+			NewMonitor: mk,
+			Validate:   sim.ValidateEps,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s msgs=%7d  epochs=%4d  max rounds/step=%d\n",
+			name, rep.Messages.Total(), rep.Epochs, rep.MaxRounds)
+		return rep
+	}
+	ap := run("approx (Thm 5.8)", func(c cluster.Cluster) protocol.Monitor {
+		return protocol.NewApprox(c, k, e)
+	})
+	run("naive report-all", func(c cluster.Cluster) protocol.Monitor {
+		return protocol.NewNaive(c, k)
+	})
+
+	// 3. Price the offline optimum on the same trace.
+	inst, err := offline.NewInstance(loaded.Values, k, e)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := inst.Solve()
+	fmt.Printf("\noffline OPT: %d segments, %d breaks, realistic cost %d (σ=%d)\n",
+		len(res.Segments), res.Breaks, res.Realistic, inst.SigmaMax())
+	fmt.Printf("approx empirical competitive ratio (vs breaks LB): %.1f\n",
+		float64(ap.Messages.Total())/float64(max(1, res.Breaks)))
+}

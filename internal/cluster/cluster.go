@@ -1,0 +1,86 @@
+// Package cluster defines the engine-neutral server-side interface through
+// which all monitoring protocols talk to the distributed nodes.
+//
+// Two engines implement it: the deterministic sequential engine
+// (internal/lockstep), the primary substrate for tests and experiments, and
+// the concurrent goroutine engine (internal/live) used by the runnable
+// demos. Protocol code written against this interface runs unchanged on
+// both, and — given equal seeds — produces identical message counters,
+// which the cross-engine equivalence tests assert.
+//
+// Every method that moves information between server and nodes has a unit
+// communication cost per message, matching the model of Section 2.
+package cluster
+
+import (
+	"topkmon/internal/filter"
+	"topkmon/internal/metrics"
+	"topkmon/internal/rngx"
+	"topkmon/internal/wire"
+)
+
+// Cluster is the server's view of the distributed system.
+type Cluster interface {
+	// N returns the number of nodes.
+	N() int
+	// Counters exposes the communication accounting.
+	Counters() *metrics.Counters
+	// Rand is the server-side randomness source.
+	Rand() *rngx.Source
+
+	// BroadcastRule sends one filter rule to all nodes (cost 1); each node
+	// retags itself and derives its filter from its tag.
+	BroadcastRule(rule *wire.FilterRule)
+	// SetFilter assigns one node's filter (cost 1).
+	SetFilter(id int, iv filter.Interval)
+	// SetTagFilter assigns one node's tag and filter in a single unicast
+	// (cost 1; both fit well inside the log-size message bound).
+	SetTagFilter(id int, t wire.Tag, iv filter.Interval)
+	// Probe requests and receives one node's value (cost 2).
+	Probe(id int) wire.Report
+	// Collect broadcasts a predicate; every matching node reports
+	// (cost 1 + number of matches).
+	Collect(p wire.Pred) []wire.Report
+
+	// Sweep runs the EXISTENCE protocol of Lemma 3.1 for the predicate:
+	// zero messages when no node matches; otherwise the senders of the
+	// terminating round (each cost 1) plus one halt broadcast. The sweep
+	// itself needs no kickoff broadcast — it is part of the per-step
+	// schedule all nodes know.
+	Sweep(p wire.Pred) []wire.Report
+
+	// DetectViolation runs a violation sweep and returns one violator
+	// (chosen among the terminating round's senders), or ok=false when no
+	// node violates its filter.
+	DetectViolation() (wire.Report, bool)
+
+	// MaxFindInit (broadcast, cost 1) activates nodes above floor for a
+	// max-find run; reset also clears exclusions.
+	MaxFindInit(floor int64, reset bool)
+	// MaxFindRaise (broadcast, cost 1) announces a new best.
+	MaxFindRaise(holder int, best int64)
+	// MaxFindExclude (broadcast, cost 1) benches a found maximum.
+	MaxFindExclude(id int)
+}
+
+// Inspector is the simulation-scaffolding side door used by the oracle,
+// validators, and adaptive adversaries — never by protocols. Engines
+// implement it alongside Cluster.
+type Inspector interface {
+	// Values returns a copy of all current node values.
+	Values() []int64
+	// Filters returns a copy of all current node filters.
+	Filters() []filter.Interval
+	// Tags returns a copy of all current node tags.
+	Tags() []wire.Tag
+	// Advance installs the next observations (start of a time step).
+	Advance(values []int64)
+	// EndStep closes the step's round accounting.
+	EndStep()
+}
+
+// Engine combines the protocol-facing and scaffolding-facing interfaces.
+type Engine interface {
+	Cluster
+	Inspector
+}

@@ -1,0 +1,174 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"topkmon/internal/cluster"
+	"topkmon/internal/filter"
+	"topkmon/internal/live"
+	"topkmon/internal/lockstep"
+	"topkmon/internal/metrics"
+	"topkmon/internal/wire"
+)
+
+// engines under conformance test.
+func engines(n int, seed uint64) map[string]func() (cluster.Engine, func()) {
+	return map[string]func() (cluster.Engine, func()){
+		"lockstep": func() (cluster.Engine, func()) {
+			return lockstep.New(n, seed), func() {}
+		},
+		"live": func() (cluster.Engine, func()) {
+			c := live.New(n, seed)
+			return c, c.Close
+		},
+	}
+}
+
+// TestConformanceMessageCosts pins the exact unit-cost accounting of every
+// primitive on both engines.
+func TestConformanceMessageCosts(t *testing.T) {
+	for name, mk := range engines(8, 3) {
+		t.Run(name, func(t *testing.T) {
+			eng, done := mk()
+			defer done()
+			eng.Advance([]int64{10, 20, 30, 40, 50, 60, 70, 80})
+
+			cost := func(f func()) int64 {
+				before := eng.Counters().Snapshot()
+				f()
+				return eng.Counters().Snapshot().Sub(before).Total()
+			}
+
+			if got := cost(func() { eng.BroadcastRule(wire.NewFilterRule()) }); got != 1 {
+				t.Errorf("BroadcastRule cost %d, want 1", got)
+			}
+			if got := cost(func() { eng.SetFilter(2, filter.All) }); got != 1 {
+				t.Errorf("SetFilter cost %d, want 1", got)
+			}
+			if got := cost(func() { eng.SetTagFilter(2, wire.TagV1, filter.All) }); got != 1 {
+				t.Errorf("SetTagFilter cost %d, want 1", got)
+			}
+			if got := cost(func() { eng.Probe(3) }); got != 2 {
+				t.Errorf("Probe cost %d, want 2", got)
+			}
+			// Collect: 1 broadcast + 1 per match (values 30..50 → 3).
+			if got := cost(func() { eng.Collect(wire.InRange(30, 50)) }); got != 4 {
+				t.Errorf("Collect cost %d, want 4", got)
+			}
+			// Silent sweep is free.
+			if got := cost(func() { eng.Sweep(wire.Violating()) }); got != 0 {
+				t.Errorf("silent Sweep cost %d, want 0", got)
+			}
+			if got := cost(func() { eng.MaxFindInit(-1, true) }); got != 1 {
+				t.Errorf("MaxFindInit cost %d, want 1", got)
+			}
+			if got := cost(func() { eng.MaxFindRaise(1, 20) }); got != 1 {
+				t.Errorf("MaxFindRaise cost %d, want 1", got)
+			}
+			if got := cost(func() { eng.MaxFindExclude(1) }); got != 1 {
+				t.Errorf("MaxFindExclude cost %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestConformanceSweepChannelSplit: a sweep with violators bills node
+// reports on the node→server channel plus exactly one halt broadcast.
+func TestConformanceSweepChannelSplit(t *testing.T) {
+	for name, mk := range engines(16, 7) {
+		t.Run(name, func(t *testing.T) {
+			eng, done := mk()
+			defer done()
+			vals := make([]int64, 16)
+			eng.Advance(vals)
+			eng.SetFilter(5, filter.Make(1, 2))
+			before := eng.Counters().Snapshot()
+			senders := eng.Sweep(wire.Violating())
+			if len(senders) == 0 {
+				t.Fatal("missed violator")
+			}
+			d := eng.Counters().Snapshot().Sub(before)
+			if d.ByChannel[metrics.Broadcast] != 1 {
+				t.Errorf("halt broadcasts = %d, want 1", d.ByChannel[metrics.Broadcast])
+			}
+			if d.ByChannel[metrics.NodeToServer] != int64(len(senders)) {
+				t.Errorf("node reports %d != senders %d",
+					d.ByChannel[metrics.NodeToServer], len(senders))
+			}
+		})
+	}
+}
+
+// TestConformanceTagAndFilterState: state mutations via broadcast rules and
+// unicasts are observable identically through the Inspector.
+func TestConformanceTagAndFilterState(t *testing.T) {
+	for name, mk := range engines(4, 11) {
+		t.Run(name, func(t *testing.T) {
+			eng, done := mk()
+			defer done()
+			eng.Advance([]int64{1, 2, 3, 4})
+			eng.SetTagFilter(1, wire.TagV2S2, filter.Make(5, 6))
+			rule := wire.NewFilterRule().
+				WithRetag(wire.TagV2S2, wire.TagV2).
+				With(wire.TagV2, filter.Make(7, 8)).
+				With(wire.TagNone, filter.Make(0, 100))
+			eng.BroadcastRule(rule)
+			tags, filters := eng.Tags(), eng.Filters()
+			if tags[1] != wire.TagV2 || filters[1] != filter.Make(7, 8) {
+				t.Errorf("node 1 state: %v %v", tags[1], filters[1])
+			}
+			if tags[0] != wire.TagNone || filters[0] != filter.Make(0, 100) {
+				t.Errorf("node 0 state: %v %v", tags[0], filters[0])
+			}
+		})
+	}
+}
+
+// TestConformanceDetectOnlyViolators: DetectViolation never reports a node
+// that is inside its filter, across many configurations.
+func TestConformanceDetectOnlyViolators(t *testing.T) {
+	for name, mk := range engines(12, 13) {
+		t.Run(name, func(t *testing.T) {
+			eng, done := mk()
+			defer done()
+			for round := 0; round < 20; round++ {
+				vals := make([]int64, 12)
+				for i := range vals {
+					vals[i] = int64(i * 10)
+				}
+				eng.Advance(vals)
+				// Fence nodes round and round+1 out.
+				a, b := round%12, (round+1)%12
+				eng.SetFilter(a, filter.Make(1000, 2000))
+				eng.SetFilter(b, filter.Make(1000, 2000))
+				rep, ok := eng.DetectViolation()
+				if !ok {
+					t.Fatalf("round %d: violations missed", round)
+				}
+				if rep.ID != a && rep.ID != b {
+					t.Fatalf("round %d: reported non-violator %d", round, rep.ID)
+				}
+				eng.SetFilter(a, filter.All)
+				eng.SetFilter(b, filter.All)
+			}
+		})
+	}
+}
+
+// TestConformanceRoundsAccounted: sweeps and collects consume protocol
+// rounds on both engines.
+func TestConformanceRoundsAccounted(t *testing.T) {
+	for name, mk := range engines(32, 17) {
+		t.Run(name, func(t *testing.T) {
+			eng, done := mk()
+			defer done()
+			eng.Advance(make([]int64, 32))
+			eng.Sweep(wire.Violating()) // silent: γ+1 rounds
+			eng.Collect(wire.InRange(0, 0))
+			eng.EndStep()
+			if eng.Counters().MaxRoundsPerStep() < 6 {
+				t.Errorf("rounds/step = %d, want ≥ γ+2", eng.Counters().MaxRoundsPerStep())
+			}
+		})
+	}
+}

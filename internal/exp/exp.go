@@ -1,0 +1,101 @@
+// Package exp defines the reproduction experiments E1–E10, each mapping a
+// theorem or claim of the paper to a measured table (the paper itself is
+// purely theoretical, so the "tables and figures" reproduced here are the
+// bound shapes its theorems assert; see DESIGN.md §5 and EXPERIMENTS.md).
+//
+// Experiments are deterministic given Options.Seed and scale down under
+// Options.Quick so they double as benchmark bodies in bench_test.go.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"topkmon/internal/cluster"
+	"topkmon/internal/eps"
+	"topkmon/internal/metrics"
+	"topkmon/internal/protocol"
+	"topkmon/internal/sim"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Quick shrinks sweeps and trial counts (CI/bench mode).
+	Quick bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Experiment binds a paper claim to a measurement procedure.
+type Experiment struct {
+	ID    string
+	Title string
+	// Claim cites the paper item whose bound shape the tables reproduce.
+	Claim string
+	Run   func(Options) []*metrics.Table
+}
+
+// All returns the experiments in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		E1Existence(), E2MaxFind(), E3ExactCompetitive(), E4TopKProtocol(),
+		E5LowerBound(), E6Dense(), E7HalfEps(), E8EpsilonSavings(),
+		E9PhaseAblation(), E10Compliance(), E11SweepAblation(),
+	}
+}
+
+// ByID returns one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// runOrPanic executes a simulation; experiment workloads are fixed, so a
+// validation failure is a bug, not a data condition.
+func runOrPanic(cfg sim.Config) sim.Report {
+	rep, err := sim.Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %v", err))
+	}
+	return rep
+}
+
+// mkMonitor builds the named monitor; shared across experiments.
+func mkMonitor(name string, k int, e eps.Eps) func(cluster.Cluster) protocol.Monitor {
+	switch name {
+	case "exact-mid":
+		return func(c cluster.Cluster) protocol.Monitor { return protocol.NewExactMid(c, k) }
+	case "topk":
+		return func(c cluster.Cluster) protocol.Monitor { return protocol.NewTopKProto(c, k, e) }
+	case "approx":
+		return func(c cluster.Cluster) protocol.Monitor { return protocol.NewApprox(c, k, e) }
+	case "half-eps":
+		return func(c cluster.Cluster) protocol.Monitor { return protocol.NewHalfEps(c, k, e) }
+	case "naive":
+		return func(c cluster.Cluster) protocol.Monitor { return protocol.NewNaive(c, k) }
+	case "mid-naive":
+		return func(c cluster.Cluster) protocol.Monitor { return protocol.NewMidNaive(c, k) }
+	default:
+		panic("exp: unknown monitor " + name)
+	}
+}
+
+func sortedKeys[K int | int64, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func perEpoch(total int64, epochs int64) float64 {
+	if epochs < 1 {
+		epochs = 1
+	}
+	return float64(total) / float64(epochs)
+}

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every experiment in quick mode,
+// asserting each produces at least one non-empty table.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(Options{Quick: true, Seed: 1})
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tb := range tables {
+				if tb.NumRows() == 0 {
+					t.Errorf("table %q is empty", tb.Title)
+				}
+				if !strings.Contains(tb.Title, e.ID) {
+					t.Errorf("table title %q does not carry the experiment id", tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E1"); !ok {
+		t.Error("E1 missing")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("phantom experiment found")
+	}
+}
+
+func TestRegistryMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("experiment %q metadata incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if len(seen) != 11 {
+		t.Errorf("expected 11 experiments, got %d", len(seen))
+	}
+}

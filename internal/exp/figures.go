@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"topkmon/internal/metrics"
+	"topkmon/internal/plot"
+)
+
+// FigureSpec declares how to render one ASCII figure from an experiment's
+// tables: the x column and the y columns to chart, all referenced by index
+// into the named experiment's table list.
+type FigureSpec struct {
+	ExpID string
+	Table int
+	Title string
+	XCol  int
+	YCols []int
+}
+
+// figureSpecs are the reproduction's "figures" — the growth curves behind
+// each theorem, rendered from the same tables `cmd/bench` prints.
+func figureSpecs() []FigureSpec {
+	return []FigureSpec{
+		{ExpID: "E2", Table: 0, Title: "Fig E2: FindMax messages vs n (expect ~log n)",
+			XCol: 1, YCols: []int{2}},
+		{ExpID: "E3", Table: 0, Title: "Fig E3: exact monitor msgs/epoch vs log2(Δ) (expect linear)",
+			XCol: 0, YCols: []int{3}},
+		{ExpID: "E4", Table: 0, Title: "Fig E4a: msgs/epoch vs log2(Δ) — exact grows, TOP-K flat",
+			XCol: 0, YCols: []int{1, 2}},
+		{ExpID: "E4", Table: 1, Title: "Fig E4b: TOP-K msgs/epoch vs 1/ε (expect ~log 1/ε)",
+			XCol: 1, YCols: []int{4}},
+		{ExpID: "E5", Table: 0, Title: "Fig E5: online/OPT ratio vs σ (expect ~linear: Ω(σ/k))",
+			XCol: 0, YCols: []int{5}},
+		{ExpID: "E6", Table: 0, Title: "Fig E6a: controller msgs vs dense nodes (superlinear)",
+			XCol: 0, YCols: []int{2}},
+		{ExpID: "E7", Table: 0, Title: "Fig E7: per-epoch cost vs σ — approx vs half-eps",
+			XCol: 0, YCols: []int{2, 3}},
+		{ExpID: "E8", Table: 0, Title: "Fig E8: msgs/step vs ε (bars; the noise crossover)",
+			XCol: 1, YCols: []int{3}},
+		{ExpID: "E9", Table: 0, Title: "Fig E9: msgs/epoch vs log2(Δ) — full flat, ablated grows",
+			XCol: 0, YCols: []int{1, 2}},
+		{ExpID: "E11", Table: 0, Title: "Fig E11: reporting cost vs n — EXISTENCE vs direct",
+			XCol: 0, YCols: []int{1, 2}},
+	}
+}
+
+// RenderFigures renders the registered figures for an experiment from its
+// freshly produced tables. Unknown experiments yield nothing.
+func RenderFigures(expID string, tables []*metrics.Table) []string {
+	var out []string
+	for _, spec := range figureSpecs() {
+		if spec.ExpID != expID || spec.Table >= len(tables) {
+			continue
+		}
+		tb := tables[spec.Table]
+		xLabels := tb.Column(spec.XCol)
+		if len(xLabels) == 0 {
+			continue
+		}
+		var series []plot.Series
+		for _, yc := range spec.YCols {
+			vals, ok := tb.ColumnFloats(yc)
+			if !ok || yc >= len(tb.Headers) {
+				continue
+			}
+			series = append(series, plot.Series{Name: tb.Headers[yc], Values: vals})
+		}
+		if len(series) == 0 {
+			continue
+		}
+		if fig := plot.Line(spec.Title, xLabels, series, 56, 12); fig != "" {
+			out = append(out, fig)
+		}
+	}
+	return out
+}

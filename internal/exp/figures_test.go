@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"topkmon/internal/metrics"
+)
+
+func TestRenderFiguresFromTables(t *testing.T) {
+	// Run E9 quick and render its registered figure.
+	e, _ := ByID("E9")
+	tables := e.Run(Options{Quick: true, Seed: 1})
+	figs := RenderFigures("E9", tables)
+	if len(figs) != 1 {
+		t.Fatalf("E9 should render 1 figure, got %d", len(figs))
+	}
+	if !strings.Contains(figs[0], "full") || !strings.Contains(figs[0], "ablated") {
+		t.Errorf("figure missing legends:\n%s", figs[0])
+	}
+}
+
+func TestRenderFiguresUnknownExperiment(t *testing.T) {
+	if figs := RenderFigures("E99", nil); len(figs) != 0 {
+		t.Errorf("unknown experiment rendered %d figures", len(figs))
+	}
+}
+
+func TestRenderFiguresToleratesBadColumns(t *testing.T) {
+	// A table whose y column is non-numeric must be skipped silently.
+	tb := metrics.NewTable("E5-ish", "sigma", "x", "y", "z", "w", "ratio")
+	tb.AddRow(1, "a", "b", "c", "d", "not-a-number")
+	if figs := RenderFigures("E5", []*metrics.Table{tb}); len(figs) != 0 {
+		t.Errorf("non-numeric column rendered %d figures", len(figs))
+	}
+}
+
+func TestFigureSpecsReferenceRealExperiments(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		ids[e.ID] = true
+	}
+	for _, spec := range figureSpecs() {
+		if !ids[spec.ExpID] {
+			t.Errorf("figure spec references unknown experiment %q", spec.ExpID)
+		}
+		if spec.Title == "" || len(spec.YCols) == 0 {
+			t.Errorf("figure spec for %s incomplete", spec.ExpID)
+		}
+	}
+}

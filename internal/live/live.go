@@ -1,0 +1,347 @@
+// Package live implements the cluster interface with one goroutine per
+// node communicating over channels — the protocols running on genuinely
+// concurrent "distributed" nodes.
+//
+// Semantics match the lockstep engine exactly: the server issues a
+// directive (broadcast or unicast) and waits for the addressed nodes'
+// round responses (a barrier realising the model's synchronous rounds;
+// barrier tokens are simulation scaffolding and carry no message cost).
+// Reports are ordered by node id before use, and node-side randomness is
+// consumed identically, so a live run with the same seed reproduces the
+// lockstep run's counters and outputs bit for bit — asserted by the
+// cross-engine equivalence tests.
+package live
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"topkmon/internal/eps"
+	"topkmon/internal/filter"
+	"topkmon/internal/metrics"
+	"topkmon/internal/nodecore"
+	"topkmon/internal/rngx"
+	"topkmon/internal/wire"
+)
+
+type dirKind uint8
+
+const (
+	dirAdvance dirKind = iota
+	dirApplyRule
+	dirSetFilter
+	dirSetTagFilter
+	dirProbe
+	dirCollect
+	dirExistRound
+	dirMaxInit
+	dirMaxRaise
+	dirMaxExclude
+	dirSnapshot
+	dirStop
+)
+
+type directive struct {
+	kind   dirKind
+	value  int64
+	rule   *wire.FilterRule
+	iv     filter.Interval
+	tag    wire.Tag
+	pred   wire.Pred
+	round  int
+	reset  bool
+	holder int
+	best   int64
+}
+
+type response struct {
+	id       int
+	reported bool
+	report   wire.Report
+	// snapshot fields (Inspector scaffolding)
+	value int64
+	filt  filter.Interval
+	tag   wire.Tag
+}
+
+// Cluster is the goroutine-per-node engine.
+type Cluster struct {
+	n     int
+	dirs  []chan directive
+	resp  chan response
+	ctr   *metrics.Counters
+	rng   *rngx.Source
+	maxV  int64
+	wg    sync.WaitGroup
+	alive bool
+}
+
+// New starts n node goroutines.
+func New(n int, seed uint64) *Cluster {
+	if n < 1 {
+		panic("live: need at least one node")
+	}
+	root := rngx.New(seed)
+	c := &Cluster{
+		n:     n,
+		dirs:  make([]chan directive, n),
+		resp:  make(chan response, n),
+		ctr:   metrics.NewCounters(),
+		rng:   root.Child(0xC0FFEE),
+		maxV:  1,
+		alive: true,
+	}
+	for i := 0; i < n; i++ {
+		c.dirs[i] = make(chan directive, 1)
+		nd := nodecore.New(i, root)
+		c.wg.Add(1)
+		go c.worker(nd)
+	}
+	return c
+}
+
+// worker is the node goroutine: it owns its nodecore state and answers
+// directives until stopped.
+func (c *Cluster) worker(nd *nodecore.Node) {
+	defer c.wg.Done()
+	for d := range c.dirs[nd.ID] {
+		resp := response{id: nd.ID}
+		switch d.kind {
+		case dirAdvance:
+			nd.Observe(d.value)
+		case dirApplyRule:
+			nd.ApplyFilterRule(d.rule)
+		case dirSetFilter:
+			nd.SetFilter(d.iv)
+		case dirSetTagFilter:
+			nd.SetTag(d.tag)
+			nd.SetFilter(d.iv)
+		case dirProbe:
+			resp.reported = true
+			resp.report = wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()}
+		case dirCollect:
+			if nd.Match(d.pred) {
+				resp.reported = true
+				resp.report = wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()}
+			}
+		case dirExistRound:
+			if nd.Match(d.pred) && nd.ExistenceSend(d.round, c.n) {
+				resp.reported = true
+				resp.report = wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()}
+			}
+		case dirMaxInit:
+			nd.MaxFindInit(d.value, d.reset)
+		case dirMaxRaise:
+			nd.MaxFindRaise(d.holder, d.best)
+		case dirMaxExclude:
+			nd.MaxFindExclude(d.holder)
+		case dirSnapshot:
+			resp.reported = true
+			resp.value = nd.Value
+			resp.filt = nd.Filter
+			resp.tag = nd.Tag
+		case dirStop:
+			c.resp <- resp
+			return
+		}
+		c.resp <- resp
+	}
+}
+
+// roundAll sends one directive to every node and gathers the responses of
+// the round, ordered by node id (the barrier).
+func (c *Cluster) roundAll(d directive) []response {
+	for _, ch := range c.dirs {
+		ch <- d
+	}
+	out := make([]response, 0, c.n)
+	for i := 0; i < c.n; i++ {
+		out = append(out, <-c.resp)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	return out
+}
+
+// roundOne sends a directive to one node and awaits its response.
+func (c *Cluster) roundOne(id int, d directive) response {
+	c.dirs[id] <- d
+	return <-c.resp
+}
+
+// Close stops all node goroutines. The cluster is unusable afterwards.
+func (c *Cluster) Close() {
+	if !c.alive {
+		return
+	}
+	c.alive = false
+	for _, ch := range c.dirs {
+		ch <- directive{kind: dirStop}
+	}
+	for i := 0; i < c.n; i++ {
+		<-c.resp
+	}
+	c.wg.Wait()
+}
+
+// N implements cluster.Cluster.
+func (c *Cluster) N() int { return c.n }
+
+// Counters implements cluster.Cluster.
+func (c *Cluster) Counters() *metrics.Counters { return c.ctr }
+
+// Rand implements cluster.Cluster.
+func (c *Cluster) Rand() *rngx.Source { return c.rng }
+
+func (c *Cluster) count(ch metrics.Channel, k wire.Kind) {
+	c.ctr.Count(ch, k.String(), wire.MsgBits(k, c.n, c.maxV))
+}
+
+// Advance implements cluster.Inspector.
+func (c *Cluster) Advance(values []int64) {
+	if len(values) != c.n {
+		panic(fmt.Sprintf("live: Advance with %d values for %d nodes", len(values), c.n))
+	}
+	for i, ch := range c.dirs {
+		v := values[i]
+		if v < 0 || v > eps.MaxValue {
+			panic(fmt.Sprintf("live: value %d for node %d out of range", v, i))
+		}
+		if v > c.maxV {
+			c.maxV = v
+		}
+		ch <- directive{kind: dirAdvance, value: v}
+	}
+	for i := 0; i < c.n; i++ {
+		<-c.resp
+	}
+}
+
+// EndStep implements cluster.Inspector.
+func (c *Cluster) EndStep() { c.ctr.EndStep() }
+
+func (c *Cluster) snapshot() []response {
+	return c.roundAll(directive{kind: dirSnapshot})
+}
+
+// Values implements cluster.Inspector.
+func (c *Cluster) Values() []int64 {
+	snap := c.snapshot()
+	out := make([]int64, c.n)
+	for i, r := range snap {
+		out[i] = r.value
+	}
+	return out
+}
+
+// Filters implements cluster.Inspector.
+func (c *Cluster) Filters() []filter.Interval {
+	snap := c.snapshot()
+	out := make([]filter.Interval, c.n)
+	for i, r := range snap {
+		out[i] = r.filt
+	}
+	return out
+}
+
+// Tags implements cluster.Inspector.
+func (c *Cluster) Tags() []wire.Tag {
+	snap := c.snapshot()
+	out := make([]wire.Tag, c.n)
+	for i, r := range snap {
+		out[i] = r.tag
+	}
+	return out
+}
+
+// BroadcastRule implements cluster.Cluster.
+func (c *Cluster) BroadcastRule(rule *wire.FilterRule) {
+	c.count(metrics.Broadcast, wire.KindFilterRule)
+	c.ctr.Rounds(1)
+	c.roundAll(directive{kind: dirApplyRule, rule: rule})
+}
+
+// SetFilter implements cluster.Cluster.
+func (c *Cluster) SetFilter(id int, iv filter.Interval) {
+	c.count(metrics.ServerToNode, wire.KindSetFilter)
+	c.roundOne(id, directive{kind: dirSetFilter, iv: iv})
+}
+
+// SetTagFilter implements cluster.Cluster.
+func (c *Cluster) SetTagFilter(id int, t wire.Tag, iv filter.Interval) {
+	c.count(metrics.ServerToNode, wire.KindSetFilter)
+	c.roundOne(id, directive{kind: dirSetTagFilter, tag: t, iv: iv})
+}
+
+// Probe implements cluster.Cluster.
+func (c *Cluster) Probe(id int) wire.Report {
+	c.count(metrics.ServerToNode, wire.KindProbeRequest)
+	c.count(metrics.NodeToServer, wire.KindProbeReply)
+	c.ctr.Rounds(1)
+	return c.roundOne(id, directive{kind: dirProbe}).report
+}
+
+// Collect implements cluster.Cluster.
+func (c *Cluster) Collect(p wire.Pred) []wire.Report {
+	c.count(metrics.Broadcast, wire.KindCollect)
+	c.ctr.Rounds(1)
+	var out []wire.Report
+	for _, r := range c.roundAll(directive{kind: dirCollect, pred: p}) {
+		if r.reported {
+			c.count(metrics.NodeToServer, wire.KindCollectReply)
+			out = append(out, r.report)
+		}
+	}
+	return out
+}
+
+// Sweep implements cluster.Cluster: the EXISTENCE protocol over live
+// goroutine rounds.
+func (c *Cluster) Sweep(p wire.Pred) []wire.Report {
+	gamma := nodecore.ExistenceRounds(c.n)
+	for r := 0; r <= gamma; r++ {
+		c.ctr.Rounds(1)
+		var senders []wire.Report
+		for _, resp := range c.roundAll(directive{kind: dirExistRound, pred: p, round: r}) {
+			if resp.reported {
+				c.count(metrics.NodeToServer, wire.KindExistenceReport)
+				senders = append(senders, resp.report)
+			}
+		}
+		if len(senders) > 0 {
+			c.count(metrics.Broadcast, wire.KindHalt)
+			return senders
+		}
+	}
+	return nil
+}
+
+// DetectViolation implements cluster.Cluster.
+func (c *Cluster) DetectViolation() (wire.Report, bool) {
+	senders := c.Sweep(wire.Violating())
+	if len(senders) == 0 {
+		return wire.Report{}, false
+	}
+	return senders[c.rng.Intn(len(senders))], true
+}
+
+// MaxFindInit implements cluster.Cluster.
+func (c *Cluster) MaxFindInit(floor int64, reset bool) {
+	c.count(metrics.Broadcast, wire.KindMaxFindInit)
+	c.ctr.Rounds(1)
+	c.roundAll(directive{kind: dirMaxInit, value: floor, reset: reset})
+}
+
+// MaxFindRaise implements cluster.Cluster.
+func (c *Cluster) MaxFindRaise(holder int, best int64) {
+	c.count(metrics.Broadcast, wire.KindMaxFindRaise)
+	c.ctr.Rounds(1)
+	c.roundAll(directive{kind: dirMaxRaise, holder: holder, best: best})
+}
+
+// MaxFindExclude implements cluster.Cluster.
+func (c *Cluster) MaxFindExclude(id int) {
+	c.count(metrics.Broadcast, wire.KindMaxFindExclude)
+	c.ctr.Rounds(1)
+	c.roundAll(directive{kind: dirMaxExclude, holder: id})
+}

@@ -1,0 +1,154 @@
+package live
+
+import (
+	"reflect"
+	"testing"
+
+	"topkmon/internal/cluster"
+	"topkmon/internal/eps"
+	"topkmon/internal/filter"
+	"topkmon/internal/lockstep"
+	"topkmon/internal/protocol"
+	"topkmon/internal/rngx"
+	"topkmon/internal/stream"
+	"topkmon/internal/wire"
+)
+
+// Interface compliance.
+var (
+	_ cluster.Engine = (*Cluster)(nil)
+	_ cluster.Engine = (*lockstep.Engine)(nil)
+)
+
+func TestBasicRoundTrip(t *testing.T) {
+	c := New(4, 1)
+	defer c.Close()
+	c.Advance([]int64{10, 20, 30, 40})
+	if got := c.Values(); !reflect.DeepEqual(got, []int64{10, 20, 30, 40}) {
+		t.Fatalf("Values = %v", got)
+	}
+	rep := c.Probe(2)
+	if rep.Value != 30 {
+		t.Errorf("Probe = %+v", rep)
+	}
+	c.SetTagFilter(1, wire.TagOut, filter.AtLeast(15))
+	if tags := c.Tags(); tags[1] != wire.TagOut {
+		t.Errorf("Tags = %v", tags)
+	}
+	reps := c.Collect(wire.InRange(25, 45))
+	if len(reps) != 2 || reps[0].ID != 2 || reps[1].ID != 3 {
+		t.Errorf("Collect = %v", reps)
+	}
+}
+
+func TestSweepDetectsViolations(t *testing.T) {
+	c := New(8, 2)
+	defer c.Close()
+	vals := make([]int64, 8)
+	for i := range vals {
+		vals[i] = 100
+	}
+	c.Advance(vals)
+	if got := c.Sweep(wire.Violating()); got != nil {
+		t.Fatalf("no violations expected, got %v", got)
+	}
+	c.SetFilter(5, filter.Make(0, 50))
+	rep, ok := c.DetectViolation()
+	if !ok || rep.ID != 5 || rep.Dir != filter.DirUp {
+		t.Fatalf("DetectViolation = %+v ok=%v", rep, ok)
+	}
+}
+
+func TestFindMaxOnLiveEngine(t *testing.T) {
+	c := New(32, 3)
+	defer c.Close()
+	vals := make([]int64, 32)
+	r := rngx.New(9)
+	for i := range vals {
+		vals[i] = r.Int63n(1 << 20)
+	}
+	vals[17] = 1 << 21 // clear max
+	c.Advance(vals)
+	rep, ok := protocol.FindMax(c, true)
+	if !ok || rep.ID != 17 {
+		t.Fatalf("FindMax = %+v ok=%v", rep, ok)
+	}
+}
+
+// TestLockstepEquivalence is the strongest integration test in the suite:
+// the same seed, workload and monitor on both engines must produce
+// identical outputs AND identical message counters, proving the two
+// engines implement the same model.
+func TestLockstepEquivalence(t *testing.T) {
+	const n, k, steps = 12, 3, 250
+	e := eps.MustNew(1, 5)
+	type mk struct {
+		name string
+		make func(c cluster.Cluster) protocol.Monitor
+	}
+	monitors := []mk{
+		{"exact-mid", func(c cluster.Cluster) protocol.Monitor { return protocol.NewExactMid(c, k) }},
+		{"topk", func(c cluster.Cluster) protocol.Monitor { return protocol.NewTopKProto(c, k, e) }},
+		{"approx", func(c cluster.Cluster) protocol.Monitor { return protocol.NewApprox(c, k, e) }},
+		{"half-eps", func(c cluster.Cluster) protocol.Monitor { return protocol.NewHalfEps(c, k, e) }},
+	}
+	for _, m := range monitors {
+		t.Run(m.name, func(t *testing.T) {
+			// Generate the trace once so both engines see identical data.
+			gen := stream.NewWalk(n, 2000, 120, 1<<20, 5)
+			trace := make([][]int64, steps)
+			for i := range trace {
+				trace[i] = gen.Next(i)
+			}
+
+			runOn := func(eng cluster.Engine) ([]int, int64, map[string]int64) {
+				mon := m.make(eng)
+				for ti, vals := range trace {
+					eng.Advance(vals)
+					if ti == 0 {
+						mon.Start()
+					} else {
+						mon.HandleStep()
+					}
+					eng.EndStep()
+				}
+				snap := eng.Counters().Snapshot()
+				return mon.Output(), snap.Total(), snap.ByKind
+			}
+
+			ls := lockstep.New(n, 42)
+			lv := New(n, 42)
+			defer lv.Close()
+
+			outA, totalA, kindsA := runOn(ls)
+			outB, totalB, kindsB := runOn(lv)
+
+			if !reflect.DeepEqual(outA, outB) {
+				t.Errorf("outputs diverge: lockstep=%v live=%v", outA, outB)
+			}
+			if totalA != totalB {
+				t.Errorf("totals diverge: lockstep=%d live=%d", totalA, totalB)
+			}
+			if !reflect.DeepEqual(kindsA, kindsB) {
+				t.Errorf("kind counters diverge:\nlockstep=%v\nlive=%v", kindsA, kindsB)
+			}
+		})
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	c := New(2, 7)
+	c.Close()
+	c.Close()
+}
+
+func TestAdvanceValidation(t *testing.T) {
+	c := New(2, 8)
+	defer c.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-length Advance must panic")
+		}
+	}()
+	c.Advance([]int64{1})
+}

@@ -1,0 +1,240 @@
+// Package lockstep implements the cluster interface as a deterministic
+// sequential simulation: nodes are plain structs, rounds are loops, and the
+// only nondeterminism comes from explicitly seeded PRNGs. It is the primary
+// substrate for unit tests, property tests, and the experiment harness,
+// and is — by construction — exactly the synchronous unit-cost model of
+// Section 2.
+package lockstep
+
+import (
+	"fmt"
+
+	"topkmon/internal/eps"
+	"topkmon/internal/filter"
+	"topkmon/internal/metrics"
+	"topkmon/internal/nodecore"
+	"topkmon/internal/rngx"
+	"topkmon/internal/wire"
+)
+
+// Engine is a deterministic lockstep cluster of n nodes.
+type Engine struct {
+	nodes []*nodecore.Node
+	ctr   *metrics.Counters
+	rng   *rngx.Source
+	maxV  int64 // running Δ for message-size accounting
+
+	// DirectReports disables the EXISTENCE protocol: every matching node
+	// reports in a single round, each paying one message — the naive
+	// reporting scheme the paper's Section 3 improves on. Used by the
+	// E11 ablation; leave false for the paper's algorithms.
+	DirectReports bool
+}
+
+// New returns an engine with n nodes, all values 0, all filters [0, ∞].
+func New(n int, seed uint64) *Engine {
+	if n < 1 {
+		panic("lockstep: need at least one node")
+	}
+	root := rngx.New(seed)
+	e := &Engine{
+		nodes: make([]*nodecore.Node, n),
+		ctr:   metrics.NewCounters(),
+		rng:   root.Child(0xC0FFEE),
+		maxV:  1,
+	}
+	for i := range e.nodes {
+		e.nodes[i] = nodecore.New(i, root)
+	}
+	return e
+}
+
+// N implements cluster.Cluster.
+func (e *Engine) N() int { return len(e.nodes) }
+
+// Counters implements cluster.Cluster.
+func (e *Engine) Counters() *metrics.Counters { return e.ctr }
+
+// Rand implements cluster.Cluster.
+func (e *Engine) Rand() *rngx.Source { return e.rng }
+
+// Advance installs the next observations; it is simulation scaffolding (the
+// streams are observed locally at the nodes) and costs nothing.
+func (e *Engine) Advance(values []int64) {
+	if len(values) != len(e.nodes) {
+		panic(fmt.Sprintf("lockstep: Advance with %d values for %d nodes", len(values), len(e.nodes)))
+	}
+	for i, nd := range e.nodes {
+		v := values[i]
+		if v < 0 || v > eps.MaxValue {
+			panic(fmt.Sprintf("lockstep: value %d for node %d outside [0, %d]", v, i, eps.MaxValue))
+		}
+		nd.Observe(v)
+		if v > e.maxV {
+			e.maxV = v
+		}
+	}
+}
+
+// EndStep closes the current step's round accounting.
+func (e *Engine) EndStep() { e.ctr.EndStep() }
+
+// Values implements cluster.Inspector.
+func (e *Engine) Values() []int64 {
+	vs := make([]int64, len(e.nodes))
+	for i, nd := range e.nodes {
+		vs[i] = nd.Value
+	}
+	return vs
+}
+
+// Filters implements cluster.Inspector.
+func (e *Engine) Filters() []filter.Interval {
+	fs := make([]filter.Interval, len(e.nodes))
+	for i, nd := range e.nodes {
+		fs[i] = nd.Filter
+	}
+	return fs
+}
+
+// Tags implements cluster.Inspector.
+func (e *Engine) Tags() []wire.Tag {
+	ts := make([]wire.Tag, len(e.nodes))
+	for i, nd := range e.nodes {
+		ts[i] = nd.Tag
+	}
+	return ts
+}
+
+// Node exposes one node for white-box tests. Not part of the cluster
+// interfaces and never used by protocols.
+func (e *Engine) Node(i int) *nodecore.Node { return e.nodes[i] }
+
+func (e *Engine) count(ch metrics.Channel, k wire.Kind) {
+	e.ctr.Count(ch, k.String(), wire.MsgBits(k, len(e.nodes), e.maxV))
+}
+
+// BroadcastRule implements cluster.Cluster.
+func (e *Engine) BroadcastRule(rule *wire.FilterRule) {
+	e.count(metrics.Broadcast, wire.KindFilterRule)
+	e.ctr.Rounds(1)
+	for _, nd := range e.nodes {
+		nd.ApplyFilterRule(rule)
+	}
+}
+
+// SetFilter implements cluster.Cluster.
+func (e *Engine) SetFilter(id int, iv filter.Interval) {
+	e.count(metrics.ServerToNode, wire.KindSetFilter)
+	e.nodes[id].SetFilter(iv)
+}
+
+// SetTagFilter implements cluster.Cluster.
+func (e *Engine) SetTagFilter(id int, t wire.Tag, iv filter.Interval) {
+	e.count(metrics.ServerToNode, wire.KindSetFilter)
+	nd := e.nodes[id]
+	nd.SetTag(t)
+	nd.SetFilter(iv)
+}
+
+// Probe implements cluster.Cluster.
+func (e *Engine) Probe(id int) wire.Report {
+	e.count(metrics.ServerToNode, wire.KindProbeRequest)
+	e.count(metrics.NodeToServer, wire.KindProbeReply)
+	e.ctr.Rounds(1)
+	nd := e.nodes[id]
+	return wire.Report{ID: id, Value: nd.Value, Dir: nd.Violation()}
+}
+
+// Collect implements cluster.Cluster.
+func (e *Engine) Collect(p wire.Pred) []wire.Report {
+	e.count(metrics.Broadcast, wire.KindCollect)
+	e.ctr.Rounds(1)
+	var out []wire.Report
+	for _, nd := range e.nodes {
+		if nd.Match(p) {
+			e.count(metrics.NodeToServer, wire.KindCollectReply)
+			out = append(out, wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()})
+		}
+	}
+	return out
+}
+
+// Sweep implements cluster.Cluster: the EXISTENCE protocol of Lemma 3.1.
+// Nodes matching the predicate send independently with probability
+// p_r = 2^r/n per round; the first non-empty round terminates the sweep
+// (one halt broadcast). With no matching node the sweep is silent and free.
+func (e *Engine) Sweep(p wire.Pred) []wire.Report {
+	if e.DirectReports {
+		return e.directSweep(p)
+	}
+	gamma := nodecore.ExistenceRounds(len(e.nodes))
+	for r := 0; r <= gamma; r++ {
+		e.ctr.Rounds(1)
+		var senders []wire.Report
+		for _, nd := range e.nodes {
+			if nd.Match(p) && nd.ExistenceSend(r, len(e.nodes)) {
+				e.count(metrics.NodeToServer, wire.KindExistenceReport)
+				senders = append(senders, wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()})
+			}
+		}
+		if len(senders) > 0 {
+			e.count(metrics.Broadcast, wire.KindHalt)
+			return senders
+		}
+	}
+	return nil
+}
+
+// directSweep is the naive reporting scheme (one round, every matching node
+// sends); it is always correct but costs one message per matching node per
+// sweep — the baseline against which Lemma 3.1's O(1) expectation wins.
+func (e *Engine) directSweep(p wire.Pred) []wire.Report {
+	e.ctr.Rounds(1)
+	var senders []wire.Report
+	for _, nd := range e.nodes {
+		if nd.Match(p) {
+			e.count(metrics.NodeToServer, wire.KindExistenceReport)
+			senders = append(senders, wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()})
+		}
+	}
+	return senders
+}
+
+// DetectViolation implements cluster.Cluster: one violation sweep; among the
+// terminating round's senders one is chosen uniformly (the server "processes
+// one violation at a time in an arbitrary order").
+func (e *Engine) DetectViolation() (wire.Report, bool) {
+	senders := e.Sweep(wire.Violating())
+	if len(senders) == 0 {
+		return wire.Report{}, false
+	}
+	return senders[e.rng.Intn(len(senders))], true
+}
+
+// MaxFindInit implements cluster.Cluster.
+func (e *Engine) MaxFindInit(floor int64, reset bool) {
+	e.count(metrics.Broadcast, wire.KindMaxFindInit)
+	e.ctr.Rounds(1)
+	for _, nd := range e.nodes {
+		nd.MaxFindInit(floor, reset)
+	}
+}
+
+// MaxFindRaise implements cluster.Cluster.
+func (e *Engine) MaxFindRaise(holder int, best int64) {
+	e.count(metrics.Broadcast, wire.KindMaxFindRaise)
+	e.ctr.Rounds(1)
+	for _, nd := range e.nodes {
+		nd.MaxFindRaise(holder, best)
+	}
+}
+
+// MaxFindExclude implements cluster.Cluster.
+func (e *Engine) MaxFindExclude(id int) {
+	e.count(metrics.Broadcast, wire.KindMaxFindExclude)
+	e.ctr.Rounds(1)
+	for _, nd := range e.nodes {
+		nd.MaxFindExclude(id)
+	}
+}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	c.Count(NodeToServer, "probe-reply", 24)
+	c.Count(NodeToServer, "probe-reply", 24)
+	c.Count(Broadcast, "halt", 8)
+	if c.Total() != 3 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if c.ByChannel(NodeToServer) != 2 || c.ByChannel(Broadcast) != 1 {
+		t.Error("channel counts wrong")
+	}
+	if c.ByKind("probe-reply") != 2 || c.ByKind("halt") != 1 {
+		t.Error("kind counts wrong")
+	}
+	if c.MaxBits() != 24 {
+		t.Errorf("MaxBits = %d", c.MaxBits())
+	}
+	kinds := c.Kinds()
+	if len(kinds) != 2 || kinds[0] != "halt" {
+		t.Errorf("Kinds = %v", kinds)
+	}
+}
+
+func TestZeroValueCounters(t *testing.T) {
+	var c Counters
+	c.Count(Broadcast, "x", 1)
+	if c.Total() != 1 {
+		t.Error("zero-value Counters must be usable")
+	}
+}
+
+func TestRoundTracking(t *testing.T) {
+	c := NewCounters()
+	c.Rounds(5)
+	c.EndStep()
+	c.Rounds(3)
+	c.EndStep()
+	if c.MaxRoundsPerStep() != 5 {
+		t.Errorf("MaxRoundsPerStep = %d", c.MaxRoundsPerStep())
+	}
+	if c.Steps() != 2 {
+		t.Errorf("Steps = %d", c.Steps())
+	}
+	c.Rounds(9) // current open step counts too
+	if c.MaxRoundsPerStep() != 9 {
+		t.Errorf("open-step rounds ignored: %d", c.MaxRoundsPerStep())
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	c := NewCounters()
+	c.Count(NodeToServer, "a", 1)
+	s1 := c.Snapshot()
+	c.Count(NodeToServer, "a", 1)
+	c.Count(Broadcast, "b", 1)
+	diff := c.Snapshot().Sub(s1)
+	if diff.Total() != 2 || diff.ByKind["a"] != 1 || diff.ByKind["b"] != 1 {
+		t.Errorf("Sub wrong: %+v", diff)
+	}
+}
+
+func TestChannelString(t *testing.T) {
+	if NodeToServer.String() == "" || ServerToNode.String() == "" || Broadcast.String() == "" {
+		t.Error("channels must render")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("Summary wrong: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-9 {
+		t.Errorf("Std = %f", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty summary must be zero")
+	}
+	one := Summarize([]float64{7})
+	if one.Mean != 7 || one.Std != 0 || one.P90 != 7 {
+		t.Errorf("single-sample summary wrong: %+v", one)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := Summarize([]float64{0, 10})
+	if math.Abs(s.Median-5) > 1e-9 {
+		t.Errorf("median of {0,10} = %f", s.Median)
+	}
+	if math.Abs(s.P90-9) > 1e-9 {
+		t.Errorf("p90 of {0,10} = %f", s.P90)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 3.14159)
+	tb.AddRow("b", int64(12))
+	out := tb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "alpha") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "3.142") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "name,value\n") {
+		t.Errorf("CSV header wrong: %q", csv)
+	}
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 3 {
+		t.Errorf("CSV rows wrong: %q", csv)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "longheader")
+	tb.AddRow("xxxxxxxxxx", 1)
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Error("header and separator must align")
+	}
+}

@@ -1,0 +1,156 @@
+package nodecore
+
+import (
+	"math"
+	"testing"
+
+	"topkmon/internal/filter"
+	"topkmon/internal/rngx"
+	"topkmon/internal/wire"
+)
+
+func newNode(t *testing.T, id int) *Node {
+	t.Helper()
+	return New(id, rngx.New(99))
+}
+
+func TestViolationClassification(t *testing.T) {
+	nd := newNode(t, 0)
+	nd.SetFilter(filter.Make(10, 20))
+	nd.Observe(15)
+	if nd.Violation() != filter.DirNone {
+		t.Error("inside filter must not violate")
+	}
+	nd.Observe(25)
+	if nd.Violation() != filter.DirUp {
+		t.Error("above filter must violate up")
+	}
+	nd.Observe(5)
+	if nd.Violation() != filter.DirDown {
+		t.Error("below filter must violate down")
+	}
+}
+
+func TestMatchPredicates(t *testing.T) {
+	nd := newNode(t, 3)
+	nd.Observe(50)
+	nd.SetFilter(filter.Make(0, 40))
+	if !nd.Match(wire.Violating()) {
+		t.Error("violating node must match PredViolating")
+	}
+	nd.SetFilter(filter.All)
+	if nd.Match(wire.Violating()) {
+		t.Error("contained node must not match PredViolating")
+	}
+	if !nd.Match(wire.InRange(50, 50)) || nd.Match(wire.InRange(51, 99)) {
+		t.Error("InRange boundaries wrong")
+	}
+	nd.SetTag(wire.TagV2)
+	if !nd.Match(wire.HasTag(wire.TagV2)) || nd.Match(wire.HasTag(wire.TagV1)) {
+		t.Error("HasTag wrong")
+	}
+	nd.MFActive = true
+	if !nd.Match(wire.AboveActive(49)) || nd.Match(wire.AboveActive(50)) {
+		t.Error("AboveActive threshold wrong")
+	}
+	nd.MFActive = false
+	if nd.Match(wire.AboveActive(0)) {
+		t.Error("inactive node must not match AboveActive")
+	}
+}
+
+func TestApplyFilterRule(t *testing.T) {
+	nd := newNode(t, 1)
+	nd.SetTag(wire.TagV2S2)
+	nd.SetFilter(filter.Make(1, 2))
+	rule := wire.NewFilterRule().
+		WithRetag(wire.TagV2S2, wire.TagV2).
+		With(wire.TagV2, filter.Make(30, 40))
+	nd.ApplyFilterRule(rule)
+	if nd.Tag != wire.TagV2 || nd.Filter != filter.Make(30, 40) {
+		t.Errorf("rule application failed: %v %v", nd.Tag, nd.Filter)
+	}
+}
+
+func TestMaxFindLifecycle(t *testing.T) {
+	nd := newNode(t, 2)
+	nd.Observe(100)
+	nd.MaxFindInit(-1, true)
+	if !nd.MFActive {
+		t.Error("node above floor must activate")
+	}
+	nd.MaxFindRaise(5, 100) // best equals value: deactivate
+	if nd.MFActive {
+		t.Error("node at best must deactivate")
+	}
+	nd.MaxFindInit(-1, false)
+	if !nd.MFActive {
+		t.Error("re-init must reactivate non-excluded node")
+	}
+	nd.MaxFindExclude(2)
+	if nd.MFActive || !nd.MFExcluded {
+		t.Error("exclusion must bench the node")
+	}
+	nd.MaxFindInit(-1, false)
+	if nd.MFActive {
+		t.Error("excluded node must stay benched without reset")
+	}
+	nd.MaxFindInit(-1, true)
+	if !nd.MFActive {
+		t.Error("reset must clear exclusion")
+	}
+	nd.MaxFindRaise(2, 50) // holder deactivates even above best
+	if nd.MFActive {
+		t.Error("holder must deactivate on raise")
+	}
+}
+
+func TestMaxFindInitFloor(t *testing.T) {
+	nd := newNode(t, 4)
+	nd.Observe(10)
+	nd.MaxFindInit(10, true)
+	if nd.MFActive {
+		t.Error("node at floor must not activate")
+	}
+	nd.MaxFindInit(9, true)
+	if !nd.MFActive {
+		t.Error("node above floor must activate")
+	}
+}
+
+func TestExistenceRounds(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := ExistenceRounds(n); got != want {
+			t.Errorf("ExistenceRounds(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestExistenceFinalRoundIsCertain(t *testing.T) {
+	nd := newNode(t, 5)
+	n := 64
+	gamma := ExistenceRounds(n)
+	for trial := 0; trial < 100; trial++ {
+		if !nd.ExistenceSend(gamma, n) {
+			t.Fatal("final round must send with certainty")
+		}
+	}
+}
+
+func TestExistenceSendRate(t *testing.T) {
+	// Round r sends with probability 2^r/n: check empirically at r=3, n=64
+	// (p = 1/8).
+	nd := New(6, rngx.New(123))
+	const n, r, trials = 64, 3, 40000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if nd.ExistenceSend(r, n) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-0.125) > 0.01 {
+		t.Errorf("round-%d send rate %f, want 0.125", r, rate)
+	}
+}

@@ -1,0 +1,343 @@
+// Package offline computes the optimal filter-based offline algorithm's
+// cost on a recorded instance — the adversary's OPT of the competitive
+// analyses.
+//
+// By Proposition 2.4, OPT w.l.o.g. uses two filters per communication-free
+// interval, characterised by Lemma 2.5: an interval [t, t'] is servable
+// without communication iff some k-set S satisfies
+//
+//	MIN_S(t, t') ≥ (1-ε) · MAX_{S̄}(t, t'),
+//
+// where MIN/MAX are per-node envelopes over the interval. Feasibility is
+// monotone under shrinking intervals, so the greedy maximal segmentation
+// minimises the number of filter re-assignments; the number of segment
+// breaks lower-bounds OPT's messages, exactly as the paper's analyses use
+// it. A DP cross-check (BruteSegments) validates greedy on small instances.
+package offline
+
+import (
+	"fmt"
+	"sort"
+
+	"topkmon/internal/eps"
+	"topkmon/internal/filter"
+)
+
+// Instance is a recorded run: Values[t][i] is node i's value at step t.
+type Instance struct {
+	Values [][]int64
+	K      int
+	Eps    eps.Eps
+}
+
+// NewInstance validates and wraps a recorded matrix.
+func NewInstance(values [][]int64, k int, e eps.Eps) (*Instance, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("offline: empty instance")
+	}
+	n := len(values[0])
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("offline: k=%d out of range for n=%d", k, n)
+	}
+	for t, row := range values {
+		if len(row) != n {
+			return nil, fmt.Errorf("offline: step %d has %d values, want %d", t, len(row), n)
+		}
+	}
+	return &Instance{Values: values, K: k, Eps: e}, nil
+}
+
+// T returns the number of steps.
+func (in *Instance) T() int { return len(in.Values) }
+
+// N returns the number of nodes.
+func (in *Instance) N() int { return len(in.Values[0]) }
+
+// envelope tracks per-node running MIN and MAX over the current segment.
+type envelope struct {
+	min, max []int64
+}
+
+func newEnvelope(row []int64) *envelope {
+	e := &envelope{min: append([]int64(nil), row...), max: append([]int64(nil), row...)}
+	return e
+}
+
+func (e *envelope) extend(row []int64) {
+	for i, v := range row {
+		if v < e.min[i] {
+			e.min[i] = v
+		}
+		if v > e.max[i] {
+			e.max[i] = v
+		}
+	}
+}
+
+// Feasible reports whether some k-set S satisfies
+// min_{i∈S} MIN_i ≥ (1-ε)·max_{j∉S} MAX_j for the given envelopes.
+//
+// For each candidate threshold θ = min_S MIN (necessarily one of the MIN
+// values), S must avoid every node with MIN below θ and must contain every
+// node with (1-ε)·MAX above θ; those forced nodes form a prefix of the
+// MAX-descending order. The check runs in O(n log n).
+func Feasible(minEnv, maxEnv []int64, k int, e eps.Eps) bool {
+	_, ok := Witness(minEnv, maxEnv, k, e)
+	return ok
+}
+
+// Witness returns a witnessing k-set S (sorted ids) if one exists.
+func Witness(minEnv, maxEnv []int64, k int, e eps.Eps) ([]int, bool) {
+	n := len(minEnv)
+	if k == n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out, true
+	}
+
+	// byMax: ids ordered by MAX descending; pminPrefix[j] = min MIN among
+	// the first j of them.
+	byMax := make([]int, n)
+	for i := range byMax {
+		byMax[i] = i
+	}
+	sort.Slice(byMax, func(a, b int) bool { return maxEnv[byMax[a]] > maxEnv[byMax[b]] })
+	pminPrefix := make([]int64, n+1)
+	pminPrefix[0] = int64(1) << 62
+	for j, id := range byMax {
+		pminPrefix[j+1] = pminPrefix[j]
+		if minEnv[id] < pminPrefix[j+1] {
+			pminPrefix[j+1] = minEnv[id]
+		}
+	}
+
+	// minsDesc: distinct candidate thresholds, descending, so the first
+	// hit maximises slack.
+	minsDesc := append([]int64(nil), minEnv...)
+	sort.Slice(minsDesc, func(a, b int) bool { return minsDesc[a] > minsDesc[b] })
+
+	for _, theta := range minsDesc {
+		// cntMin = |{MIN ≥ θ}|.
+		cntMin := 0
+		for _, m := range minEnv {
+			if m >= theta {
+				cntMin++
+			}
+		}
+		if cntMin < k {
+			continue
+		}
+		// forced = |{(1-ε)·MAX > θ}| — a prefix of byMax.
+		forced := sort.Search(n, func(j int) bool {
+			return !gtScaled(maxEnv[byMax[j]], theta, e)
+		})
+		if forced > k {
+			continue
+		}
+		// Every forced node needs MIN ≥ θ.
+		if pminPrefix[forced] < theta {
+			continue
+		}
+		return buildWitness(minEnv, maxEnv, byMax, forced, theta, k), true
+	}
+	return nil, false
+}
+
+// gtScaled reports (1-ε)·max > θ.
+func gtScaled(max, theta int64, e eps.Eps) bool {
+	return e.ClearlyBelow(theta, max) // θ < (1-ε)·max
+}
+
+// buildWitness assembles S: the forced prefix plus the highest-MIN fillers
+// among the remaining θ-eligible nodes.
+func buildWitness(minEnv, maxEnv []int64, byMax []int, forced int, theta int64, k int) []int {
+	inS := make(map[int]bool, k)
+	for _, id := range byMax[:forced] {
+		inS[id] = true
+	}
+	// Fill with eligible nodes (MIN ≥ θ) of largest MIN first.
+	type cand struct {
+		id  int
+		min int64
+	}
+	var cands []cand
+	for id, m := range minEnv {
+		if !inS[id] && m >= theta {
+			cands = append(cands, cand{id, m})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].min != cands[b].min {
+			return cands[a].min > cands[b].min
+		}
+		return cands[a].id < cands[b].id
+	})
+	for _, c := range cands {
+		if len(inS) == k {
+			break
+		}
+		inS[c.id] = true
+	}
+	out := make([]int, 0, k)
+	for id := range inS {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Segment is a maximal communication-free interval [From, To] (inclusive)
+// with a witnessing output set.
+type Segment struct {
+	From, To int
+	Out      []int
+}
+
+// Result summarises an offline solve.
+type Result struct {
+	Segments []Segment
+	// Breaks = len(Segments) - 1: the lower bound on OPT's messages used
+	// by the competitive-ratio experiments.
+	Breaks int
+	// Realistic counts the Prop 2.4 two-filter deployment: per segment
+	// one broadcast plus one unicast per node that switches sides.
+	Realistic int64
+}
+
+// Solve computes the greedy maximal segmentation.
+func (in *Instance) Solve() Result {
+	var res Result
+	env := newEnvelope(in.Values[0])
+	start := 0
+	lastOut, ok := Witness(env.min, env.max, in.K, in.Eps)
+	if !ok {
+		panic("offline: single step must always be feasible")
+	}
+	curOut := lastOut
+	for t := 1; t < in.T(); t++ {
+		trial := &envelope{min: append([]int64(nil), env.min...), max: append([]int64(nil), env.max...)}
+		trial.extend(in.Values[t])
+		if out, ok := Witness(trial.min, trial.max, in.K, in.Eps); ok {
+			env = trial
+			curOut = out
+			continue
+		}
+		res.Segments = append(res.Segments, Segment{From: start, To: t - 1, Out: curOut})
+		env = newEnvelope(in.Values[t])
+		start = t
+		out, ok := Witness(env.min, env.max, in.K, in.Eps)
+		if !ok {
+			panic("offline: single step must always be feasible")
+		}
+		curOut = out
+	}
+	res.Segments = append(res.Segments, Segment{From: start, To: in.T() - 1, Out: curOut})
+	res.Breaks = len(res.Segments) - 1
+	res.Realistic = in.realisticCost(res.Segments)
+	return res
+}
+
+// realisticCost charges each segment one broadcast (the rest-side filter)
+// plus a unicast per node entering the output side, as in the Prop 2.4 /
+// Theorem 5.1 constructions.
+func (in *Instance) realisticCost(segs []Segment) int64 {
+	var cost int64
+	prev := map[int]bool{}
+	for si, s := range segs {
+		cost++ // broadcast
+		cur := make(map[int]bool, len(s.Out))
+		for _, id := range s.Out {
+			cur[id] = true
+			if si == 0 || !prev[id] {
+				cost++ // unicast filter to a node joining the output side
+			}
+		}
+		prev = cur
+	}
+	return cost
+}
+
+// PlanFilters materialises the Proposition 2.4 two-filter deployment for a
+// solved segment: the output side holds F₁ = [MIN_S(seg), ∞], everyone else
+// F₂ = [0, MAX_S̄(seg)]. By Lemma 2.5's characterisation these filters are
+// valid at every step of the segment and the output never needs to change —
+// the property test in this package verifies both against the oracle.
+func (in *Instance) PlanFilters(seg Segment) (fOut, fRest filter.Interval) {
+	inS := make(map[int]bool, len(seg.Out))
+	for _, id := range seg.Out {
+		inS[id] = true
+	}
+	minS := int64(1) << 62
+	maxR := int64(0)
+	for t := seg.From; t <= seg.To; t++ {
+		for i, v := range in.Values[t] {
+			if inS[i] {
+				if v < minS {
+					minS = v
+				}
+			} else if v > maxR {
+				maxR = v
+			}
+		}
+	}
+	if len(seg.Out) == in.N() {
+		return filter.AtLeast(0), filter.AtMost(0)
+	}
+	return filter.AtLeast(minS), filter.AtMost(maxR)
+}
+
+// BruteSegments returns the minimum number of segments by dynamic
+// programming — O(T²) feasibility checks — for validating greedy on small
+// instances.
+func (in *Instance) BruteSegments() int {
+	T := in.T()
+	feas := make([][]bool, T)
+	for a := 0; a < T; a++ {
+		feas[a] = make([]bool, T)
+		env := newEnvelope(in.Values[a])
+		for b := a; b < T; b++ {
+			if b > a {
+				env.extend(in.Values[b])
+			}
+			feas[a][b] = Feasible(env.min, env.max, in.K, in.Eps)
+		}
+	}
+	const inf = int(1) << 30
+	dp := make([]int, T+1)
+	for i := 1; i <= T; i++ {
+		dp[i] = inf
+		for a := 0; a < i; a++ {
+			if feas[a][i-1] && dp[a]+1 < dp[i] {
+				dp[i] = dp[a] + 1
+			}
+		}
+	}
+	return dp[T]
+}
+
+// SigmaMax returns max_t σ(t) for the instance, the paper's σ parameter.
+func (in *Instance) SigmaMax() int {
+	best := 0
+	for _, row := range in.Values {
+		s := sigmaOf(row, in.K, in.Eps)
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+func sigmaOf(row []int64, k int, e eps.Eps) int {
+	sorted := append([]int64(nil), row...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] > sorted[b] })
+	vk := sorted[k-1]
+	count := 0
+	for _, v := range row {
+		if !e.ClearlyAbove(v, vk) && !e.ClearlyBelow(v, vk) {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,131 @@
+// Package oracle computes the ground truth of one time step — order
+// statistics, the clearly-larger set E(t), the ε-neighborhood K(t), σ(t) —
+// and validates monitor outputs against the two defining properties of
+// ε-Top-k-Position Monitoring (Section 2):
+//
+//  1. F_E(t) = {i : v_i ∈ E(t)} ⊆ F(t), and
+//  2. F(t) \ F_E(t) ⊆ K(t), with |F(t)| = k.
+//
+// The oracle sees all values directly; it is simulation scaffolding and
+// never takes part in the protocols' communication.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"topkmon/internal/eps"
+)
+
+// Truth is the ground truth of a single time step.
+type Truth struct {
+	K      int
+	Eps    eps.Eps
+	Values []int64
+	// Order lists node ids by decreasing (value, id); Order[0] is π(1,t).
+	Order []int
+	// VK is the k-th largest value v_{π(k,t)}.
+	VK int64
+	// Clearly is the set E(t)'s node ids: v > VK/(1-ε).
+	Clearly []int
+	// Neighborhood is K(t): (1-ε)·VK ≤ v ≤ VK/(1-ε).
+	Neighborhood []int
+	// Sigma is |K(t)|.
+	Sigma int
+}
+
+// Compute derives the truth for one step. It panics if k is out of range —
+// a harness bug, not a data condition.
+func Compute(values []int64, k int, e eps.Eps) Truth {
+	n := len(values)
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("oracle: k=%d out of range for n=%d", k, n))
+	}
+	t := Truth{K: k, Eps: e, Values: values, Order: make([]int, n)}
+	for i := range t.Order {
+		t.Order[i] = i
+	}
+	sort.Slice(t.Order, func(a, b int) bool {
+		ia, ib := t.Order[a], t.Order[b]
+		if values[ia] != values[ib] {
+			return values[ia] > values[ib]
+		}
+		return ia < ib // the paper's identifier tie-break
+	})
+	t.VK = values[t.Order[k-1]]
+	for i, v := range values {
+		if e.ClearlyAbove(v, t.VK) {
+			t.Clearly = append(t.Clearly, i)
+		} else if !e.ClearlyBelow(v, t.VK) {
+			t.Neighborhood = append(t.Neighborhood, i)
+		}
+	}
+	t.Sigma = len(t.Neighborhood)
+	return t
+}
+
+// TopK returns the exact top-k node ids (identifier tie-break), sorted by id.
+func (t Truth) TopK() []int {
+	out := append([]int(nil), t.Order[:t.K]...)
+	sort.Ints(out)
+	return out
+}
+
+// ValidateEps checks output out against the ε-Top-k properties.
+func (t Truth) ValidateEps(out []int) error {
+	if len(out) != t.K {
+		return fmt.Errorf("output has %d nodes, want k=%d", len(out), t.K)
+	}
+	in := make(map[int]bool, len(out))
+	for _, id := range out {
+		if id < 0 || id >= len(t.Values) {
+			return fmt.Errorf("output contains invalid node id %d", id)
+		}
+		if in[id] {
+			return fmt.Errorf("output contains duplicate node id %d", id)
+		}
+		in[id] = true
+	}
+	for _, id := range t.Clearly {
+		if !in[id] {
+			return fmt.Errorf("node %d (value %d) is clearly above v_k=%d but missing from output",
+				id, t.Values[id], t.VK)
+		}
+	}
+	for _, id := range out {
+		if t.Eps.ClearlyBelow(t.Values[id], t.VK) {
+			return fmt.Errorf("node %d (value %d) is clearly below v_k=%d but in output",
+				id, t.Values[id], t.VK)
+		}
+	}
+	return nil
+}
+
+// ValidateExact checks output out against the exact top-k (tie-broken by id).
+func (t Truth) ValidateExact(out []int) error {
+	if len(out) != t.K {
+		return fmt.Errorf("output has %d nodes, want k=%d", len(out), t.K)
+	}
+	want := make(map[int]bool, t.K)
+	for _, id := range t.Order[:t.K] {
+		want[id] = true
+	}
+	for _, id := range out {
+		if !want[id] {
+			return fmt.Errorf("node %d (value %d) in output but not in exact top-%d (v_k=%d)",
+				id, t.Values[id], t.K, t.VK)
+		}
+	}
+	return nil
+}
+
+// Unique reports whether the ε-output is forced, i.e. the exact and the
+// approximate problem coincide at this step: |K(t)| = 1, equivalently
+// v_{k+1} < (1-ε)·v_k.
+func (t Truth) Unique() bool {
+	if t.K >= len(t.Values) {
+		return true
+	}
+	vk1 := t.Values[t.Order[t.K]]
+	return t.Eps.ClearlyBelow(vk1, t.VK)
+}

@@ -1,0 +1,46 @@
+package protocol_test
+
+import (
+	"fmt"
+
+	"topkmon/internal/eps"
+	"topkmon/internal/lockstep"
+	"topkmon/internal/protocol"
+)
+
+// ExampleNewApprox monitors the ε-approximate top-2 of six streams with the
+// Theorem 5.8 controller and prints the output as values move.
+func ExampleNewApprox() {
+	engine := lockstep.New(6, 1)
+	monitor := protocol.NewApprox(engine, 2, eps.MustNew(1, 10))
+
+	// Step 0: nodes 0 and 1 lead.
+	engine.Advance([]int64{900, 800, 500, 400, 300, 200})
+	monitor.Start()
+	fmt.Println("t=0:", monitor.Output())
+
+	// Small wiggles inside the filters: no communication, same output.
+	engine.Advance([]int64{905, 795, 505, 398, 301, 199})
+	monitor.HandleStep()
+	fmt.Println("t=1:", monitor.Output())
+
+	// Node 5 surges decisively past everyone: the output must follow.
+	engine.Advance([]int64{905, 795, 505, 398, 301, 5000})
+	monitor.HandleStep()
+	fmt.Println("t=2:", monitor.Output())
+
+	// Output:
+	// t=0: [0 1]
+	// t=1: [0 1]
+	// t=2: [0 5]
+}
+
+// ExampleFindMax locates the maximum with the Lemma 2.6 protocol.
+func ExampleFindMax() {
+	engine := lockstep.New(5, 3)
+	engine.Advance([]int64{10, 99, 20, 45, 7})
+	rep, ok := protocol.FindMax(engine, true)
+	fmt.Println(ok, rep.ID, rep.Value)
+	// Output:
+	// true 1 99
+}

@@ -1,0 +1,63 @@
+package protocol
+
+import (
+	"topkmon/internal/cluster"
+	"topkmon/internal/wire"
+)
+
+// FindMax computes the node holding the largest value among participating
+// nodes (those not excluded by previous runs) using O(log n) messages in
+// expectation — the algorithm behind Lemma 2.6.
+//
+// It repeatedly runs an EXISTENCE sweep for "active and above the current
+// best": the terminating round's senders form a roughly uniform sample of
+// the remaining candidates, so raising the best to the sample's maximum
+// halves the candidate set in expectation, giving O(log n) iterations of
+// O(1) expected messages each. When reset is true, exclusions from earlier
+// runs are cleared.
+func FindMax(c cluster.Cluster, reset bool) (wire.Report, bool) {
+	c.MaxFindInit(-1, reset)
+	var best wire.Report
+	found := false
+	for {
+		senders := c.Sweep(wire.AboveActive(bestValue(best, found)))
+		if len(senders) == 0 {
+			return best, found
+		}
+		top := senders[0]
+		for _, s := range senders[1:] {
+			if s.Value > top.Value || (s.Value == top.Value && s.ID > top.ID) {
+				top = s
+			}
+		}
+		best, found = top, true
+		c.MaxFindRaise(best.ID, best.Value)
+	}
+}
+
+func bestValue(best wire.Report, found bool) int64 {
+	if !found {
+		return -1
+	}
+	return best.Value
+}
+
+// TopM computes the nodes holding the m largest values (value ties broken
+// across runs by node id) using O(m log n) expected messages, by iterating
+// FindMax and excluding each found node. The result is ordered by
+// decreasing value.
+func TopM(c cluster.Cluster, m int) []wire.Report {
+	if m > c.N() {
+		m = c.N()
+	}
+	out := make([]wire.Report, 0, m)
+	for j := 0; j < m; j++ {
+		rep, ok := FindMax(c, j == 0)
+		if !ok {
+			break
+		}
+		out = append(out, rep)
+		c.MaxFindExclude(rep.ID)
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+// Package protocol implements the paper's monitoring algorithms — the
+// EXISTENCE-based violation handling (Section 3), the exact monitor of
+// Corollary 3.3, the TOP-K-PROTOCOL of Section 4, DENSEPROTOCOL and
+// SUBPROTOCOL of Section 5.2, the Theorem 5.8 controller, the Corollary 5.9
+// half-error monitor, and two baselines — all against the engine-neutral
+// cluster interface.
+package protocol
+
+import (
+	"fmt"
+	"sort"
+
+	"topkmon/internal/cluster"
+	"topkmon/internal/filter"
+	"topkmon/internal/wire"
+)
+
+// Monitor is a continuous ε-Top-k monitoring algorithm driven by the
+// simulation: Start runs once after the first observations; HandleStep runs
+// after each subsequent observation and must leave the nodes with a valid
+// filter set and the server with a correct output.
+type Monitor interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Start initialises the first epoch.
+	Start()
+	// HandleStep processes the current time step to quiescence.
+	HandleStep()
+	// Output returns the current output F(t) as node ids.
+	Output() []int
+	// Epochs returns how many epochs (phases between guaranteed OPT
+	// messages) have started; used by competitive-ratio experiments.
+	Epochs() int64
+}
+
+// maxViolationsPerStep bounds the violation-processing loop; exceeding it
+// means a protocol failed to quiesce, which is a bug, not a data condition.
+func maxViolationsPerStep(n int) int { return 1000 + 200*n }
+
+// drainViolations repeatedly detects and dispatches violations until the
+// cluster is quiescent.
+func drainViolations(c cluster.Cluster, handle func(wire.Report)) {
+	limit := maxViolationsPerStep(c.N())
+	for i := 0; ; i++ {
+		if i > limit {
+			panic(fmt.Sprintf("protocol: violation processing did not quiesce after %d violations", i))
+		}
+		rep, ok := c.DetectViolation()
+		if !ok {
+			return
+		}
+		handle(rep)
+	}
+}
+
+// ids extracts the node ids of reports, sorted ascending.
+func ids(reps []wire.Report) []int {
+	out := make([]int, len(reps))
+	for i, r := range reps {
+		out[i] = r.ID
+	}
+	sort.Ints(out)
+	return out
+}
+
+// resetAllTags returns a rule retagging every tag to the given one; chained
+// With calls then define the fresh filters.
+func resetAllTags(to wire.Tag) *wire.FilterRule {
+	r := wire.NewFilterRule()
+	for t := wire.Tag(0); t < wire.NumTags; t++ {
+		r.WithRetag(t, to)
+	}
+	return r
+}
+
+// assignTwoSided resets the whole cluster to TagRest with the rest filter
+// (one broadcast), then unicasts TagOut with the out filter to each output
+// node — the standard two-filter epoch opening of Prop. 2.4-style protocols.
+func assignTwoSided(c cluster.Cluster, out []int, fOut, fRest filter.Interval) {
+	rule := resetAllTags(wire.TagRest).With(wire.TagRest, fRest)
+	c.BroadcastRule(rule)
+	for _, id := range out {
+		c.SetTagFilter(id, wire.TagOut, fOut)
+	}
+}
+
+// retargetTwoSided updates both filters of an ongoing two-sided epoch with a
+// single broadcast.
+func retargetTwoSided(c cluster.Cluster, fOut, fRest filter.Interval) {
+	c.BroadcastRule(wire.NewFilterRule().
+		With(wire.TagOut, fOut).
+		With(wire.TagRest, fRest))
+}
+
+// pow2Sat returns 2^x saturated to stay well below filter.Inf.
+func pow2Sat(x int) int64 {
+	if x >= 60 {
+		return 1 << 60
+	}
+	return int64(1) << uint(x)
+}
+
+// satAdd adds two non-negative int64s, saturating below filter.Inf.
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if s < 0 || s >= filter.Inf {
+		return filter.Inf - 1
+	}
+	return s
+}

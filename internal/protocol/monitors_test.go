@@ -1,0 +1,207 @@
+package protocol_test
+
+import (
+	"testing"
+
+	"topkmon/internal/cluster"
+	"topkmon/internal/eps"
+	"topkmon/internal/lockstep"
+	"topkmon/internal/oracle"
+	"topkmon/internal/protocol"
+	"topkmon/internal/rngx"
+	"topkmon/internal/stream"
+	"topkmon/internal/wire"
+)
+
+func TestConstructorValidation(t *testing.T) {
+	e := lockstep.New(4, 1)
+	eOK := eps.MustNew(1, 4)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"exactmid k=0", func() { protocol.NewExactMid(e, 0) }},
+		{"exactmid k=n", func() { protocol.NewExactMid(e, 4) }},
+		{"topk k=n", func() { protocol.NewTopKProto(e, 4, eOK) }},
+		{"dense eps=0", func() { protocol.NewDense(e, 2, eps.Zero) }},
+		{"approx eps=0", func() { protocol.NewApprox(e, 2, eps.Zero) }},
+		{"halfeps eps=0", func() { protocol.NewHalfEps(e, 2, eps.Zero) }},
+		{"midnaive k=n", func() { protocol.NewMidNaive(e, 4) }},
+		{"naive k>n", func() { protocol.NewNaive(e, 5) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			c.fn()
+		})
+	}
+}
+
+func TestNaiveAllowsKEqualsN(t *testing.T) {
+	e := lockstep.New(3, 1)
+	e.Advance([]int64{3, 2, 1})
+	m := protocol.NewNaive(e, 3)
+	m.Start()
+	if len(m.Output()) != 3 {
+		t.Errorf("output %v", m.Output())
+	}
+}
+
+func TestMonitorNames(t *testing.T) {
+	e := lockstep.New(8, 1)
+	eOK := eps.MustNew(1, 4)
+	monitors := []protocol.Monitor{
+		protocol.NewExactMid(e, 2),
+		protocol.NewTopKProto(e, 2, eOK),
+		protocol.NewDense(e, 2, eOK),
+		protocol.NewApprox(e, 2, eOK),
+		protocol.NewHalfEps(e, 2, eOK),
+		protocol.NewNaive(e, 2),
+		protocol.NewMidNaive(e, 2),
+	}
+	seen := map[string]bool{}
+	for _, m := range monitors {
+		if m.Name() == "" || seen[m.Name()] {
+			t.Errorf("monitor name %q empty or duplicate", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+}
+
+// TestMonitorsOnExtremeValues drives monitors over degenerate streams: all
+// zeros, all equal, max-range values, and single-step alternations.
+func TestMonitorsOnExtremeValues(t *testing.T) {
+	const n, k = 6, 2
+	e := eps.MustNew(1, 4)
+	streams := map[string][][]int64{
+		"all-zero":  {{0, 0, 0, 0, 0, 0}, {0, 0, 0, 0, 0, 0}, {0, 0, 0, 0, 0, 0}},
+		"all-equal": {{7, 7, 7, 7, 7, 7}, {7, 7, 7, 7, 7, 7}},
+		"max-range": {
+			{eps.MaxValue, 0, eps.MaxValue / 2, 1, 2, 3},
+			{0, eps.MaxValue, 1, eps.MaxValue / 2, 3, 2},
+		},
+		"flip-flop": {
+			{100, 1, 1, 1, 1, 1}, {1, 100, 1, 1, 1, 1},
+			{1, 1, 100, 1, 1, 1}, {1, 1, 1, 100, 1, 1},
+		},
+	}
+	mks := map[string]func(cluster.Cluster) protocol.Monitor{
+		"topk":     func(c cluster.Cluster) protocol.Monitor { return protocol.NewTopKProto(c, k, e) },
+		"approx":   func(c cluster.Cluster) protocol.Monitor { return protocol.NewApprox(c, k, e) },
+		"half-eps": func(c cluster.Cluster) protocol.Monitor { return protocol.NewHalfEps(c, k, e) },
+		"naive":    func(c cluster.Cluster) protocol.Monitor { return protocol.NewNaive(c, k) },
+	}
+	for sName, matrix := range streams {
+		for mName, mk := range mks {
+			t.Run(sName+"/"+mName, func(t *testing.T) {
+				eng := lockstep.New(n, 3)
+				mon := mk(eng)
+				for ts, vals := range matrix {
+					eng.Advance(vals)
+					if ts == 0 {
+						mon.Start()
+					} else {
+						mon.HandleStep()
+					}
+					truth := oracle.Compute(vals, k, e)
+					if err := truth.ValidateEps(mon.Output()); err != nil {
+						t.Fatalf("step %d: %v", ts, err)
+					}
+					eng.EndStep()
+				}
+			})
+		}
+	}
+}
+
+// TestMonitorFuzz runs every monitor over randomized jump streams across
+// many seeds with full per-step validation — the broad safety net for the
+// protocol state machines.
+func TestMonitorFuzz(t *testing.T) {
+	const steps = 120
+	e := eps.MustNew(1, 6)
+	rng := rngx.New(2024)
+	mks := map[string]func(c cluster.Cluster, k int) protocol.Monitor{
+		"topk":     func(c cluster.Cluster, k int) protocol.Monitor { return protocol.NewTopKProto(c, k, e) },
+		"approx":   func(c cluster.Cluster, k int) protocol.Monitor { return protocol.NewApprox(c, k, e) },
+		"half-eps": func(c cluster.Cluster, k int) protocol.Monitor { return protocol.NewHalfEps(c, k, e) },
+	}
+	for name, mk := range mks {
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 12; trial++ {
+				n := 4 + rng.Intn(12)
+				k := 1 + rng.Intn(n-1)
+				// Mix of jump scales to hit dense and sparse regimes.
+				hi := int64(1) << uint(6+rng.Intn(20))
+				gen := stream.NewJumps(n, hi/4, hi, uint64(trial)*7+3)
+				eng := lockstep.New(n, uint64(trial)+99)
+				mon := mk(eng, k)
+				for ts := 0; ts < steps; ts++ {
+					vals := gen.Next(ts)
+					eng.Advance(vals)
+					if ts == 0 {
+						mon.Start()
+					} else {
+						mon.HandleStep()
+					}
+					truth := oracle.Compute(vals, k, e)
+					if err := truth.ValidateEps(mon.Output()); err != nil {
+						t.Fatalf("trial %d (n=%d k=%d hi=%d) step %d: %v",
+							trial, n, k, hi, ts, err)
+					}
+					eng.EndStep()
+				}
+			}
+		})
+	}
+}
+
+// TestHalfEpsEntersTopKMode: a wide gap at the (k+1)-st value sends HalfEps
+// through its TOP-K-PROTOCOL branch.
+func TestHalfEpsEntersTopKMode(t *testing.T) {
+	eng := lockstep.New(6, 4)
+	e := eps.MustNew(1, 4)
+	mon := protocol.NewHalfEps(eng, 2, e)
+	eng.Advance([]int64{1000, 900, 10, 9, 8, 7}) // 10 ≪ 0.75·900
+	mon.Start()
+	truth := oracle.Compute([]int64{1000, 900, 10, 9, 8, 7}, 2, e)
+	if err := truth.ValidateEps(mon.Output()); err != nil {
+		t.Fatal(err)
+	}
+	// And the dense branch with a tight cluster.
+	eng2 := lockstep.New(6, 4)
+	mon2 := protocol.NewHalfEps(eng2, 2, e)
+	eng2.Advance([]int64{1000, 900, 880, 9, 8, 7})
+	mon2.Start()
+	truth2 := oracle.Compute([]int64{1000, 900, 880, 9, 8, 7}, 2, e)
+	if err := truth2.ValidateEps(mon2.Output()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuiescenceAfterHandleStep: after HandleStep returns, no node violates
+// its filter — the protocols must leave a consistent (valid) filter state.
+func TestQuiescenceAfterHandleStep(t *testing.T) {
+	const n, k, steps = 10, 3, 150
+	e := eps.MustNew(1, 5)
+	gen := stream.NewJumps(n, 10, 50000, 7)
+	eng := lockstep.New(n, 13)
+	mon := protocol.NewApprox(eng, k, e)
+	for ts := 0; ts < steps; ts++ {
+		vals := gen.Next(ts)
+		eng.Advance(vals)
+		if ts == 0 {
+			mon.Start()
+		} else {
+			mon.HandleStep()
+		}
+		if senders := eng.Sweep(wire.Violating()); senders != nil {
+			t.Fatalf("step %d: violations remain after HandleStep: %v", ts, senders)
+		}
+		eng.EndStep()
+	}
+}

@@ -1,0 +1,81 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+
+	"topkmon/internal/cluster"
+	"topkmon/internal/filter"
+	"topkmon/internal/wire"
+)
+
+// Naive is the report-on-change baseline: every node holds the degenerate
+// filter [v, v], so any change is a violation; the server collects all
+// changes each step and re-pins the movers. It solves the exact problem
+// with ~3 messages per changed value — the cost a filterless design pays,
+// and the yardstick the filter-based algorithms are measured against.
+type Naive struct {
+	c    cluster.Cluster
+	k    int
+	vals []int64
+	out  []int
+}
+
+// NewNaive returns the baseline monitor.
+func NewNaive(c cluster.Cluster, k int) *Naive {
+	if k < 1 || k > c.N() {
+		panic(fmt.Sprintf("protocol: Naive needs 1 ≤ k ≤ n, got k=%d n=%d", k, c.N()))
+	}
+	return &Naive{c: c, k: k}
+}
+
+// Name implements Monitor.
+func (m *Naive) Name() string { return "naive-report-all" }
+
+// Epochs implements Monitor; the naive baseline has no epoch structure.
+func (m *Naive) Epochs() int64 { return 1 }
+
+// Output implements Monitor.
+func (m *Naive) Output() []int { return m.out }
+
+// Start implements Monitor: collect every value once and pin all filters.
+func (m *Naive) Start() {
+	m.vals = make([]int64, m.c.N())
+	reps := m.c.Collect(wire.InRange(0, filter.Inf))
+	for _, r := range reps {
+		m.vals[r.ID] = r.Value
+		m.c.SetFilter(r.ID, filter.Make(r.Value, r.Value))
+	}
+	m.recompute()
+}
+
+// HandleStep implements Monitor.
+func (m *Naive) HandleStep() {
+	// The scheduled existence sweep keeps the quiet case free.
+	if senders := m.c.Sweep(wire.Violating()); len(senders) == 0 {
+		return
+	}
+	reps := m.c.Collect(wire.Violating())
+	for _, r := range reps {
+		m.vals[r.ID] = r.Value
+		m.c.SetFilter(r.ID, filter.Make(r.Value, r.Value))
+	}
+	m.recompute()
+}
+
+func (m *Naive) recompute() {
+	order := make([]int, len(m.vals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if m.vals[ia] != m.vals[ib] {
+			return m.vals[ia] > m.vals[ib]
+		}
+		return ia < ib
+	})
+	out := append([]int(nil), order[:m.k]...)
+	sort.Ints(out)
+	m.out = out
+}

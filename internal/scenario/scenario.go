@@ -1,0 +1,196 @@
+// Package scenario declaratively describes a monitoring run — nodes,
+// workload, algorithm, error, duration — as JSON, so experiments can be
+// shipped, replayed, and diffed without code. cmd/topkmon runs them with
+// -scenario; the package validates aggressively and builds the pieces from
+// the same factories the rest of the system uses.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"topkmon/internal/cluster"
+	"topkmon/internal/eps"
+	"topkmon/internal/protocol"
+	"topkmon/internal/stream"
+)
+
+// Workload parameterises a generator.
+type Workload struct {
+	Kind string `json:"kind"` // walk | jumps | oscillator | loads | climber | descender | lowerbound
+	// Common knobs (interpretation per kind; zero values take defaults).
+	Start     int64   `json:"start,omitempty"`
+	Step      int64   `json:"step,omitempty"`
+	Max       int64   `json:"max,omitempty"`
+	Lo        int64   `json:"lo,omitempty"`
+	Hi        int64   `json:"hi,omitempty"`
+	Top       int     `json:"top,omitempty"`
+	Dense     int     `json:"dense,omitempty"`
+	Low       int     `json:"low,omitempty"`
+	Base      int64   `json:"base,omitempty"`
+	Amplitude int64   `json:"amplitude,omitempty"`
+	BurstProb float64 `json:"burstProb,omitempty"`
+	BurstSize int64   `json:"burstSize,omitempty"`
+	Sigma     int     `json:"sigma,omitempty"`
+	Y0        int64   `json:"y0,omitempty"`
+}
+
+// Spec is a complete scenario.
+type Spec struct {
+	Name     string   `json:"name"`
+	N        int      `json:"n"`
+	K        int      `json:"k"`
+	EpsNum   int64    `json:"epsNum"`
+	EpsDen   int64    `json:"epsDen"`
+	Steps    int      `json:"steps"`
+	Seed     uint64   `json:"seed"`
+	Monitor  string   `json:"monitor"` // approx | topk | exact-mid | half-eps | naive | mid-naive
+	Workload Workload `json:"workload"`
+}
+
+// Parse reads and validates a JSON scenario.
+func Parse(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks structural constraints before any construction.
+func (s *Spec) Validate() error {
+	if s.N < 2 {
+		return fmt.Errorf("scenario: n must be ≥ 2, got %d", s.N)
+	}
+	if s.K < 1 || s.K >= s.N {
+		return fmt.Errorf("scenario: need 1 ≤ k < n, got k=%d n=%d", s.K, s.N)
+	}
+	if s.Steps < 1 {
+		return fmt.Errorf("scenario: steps must be ≥ 1, got %d", s.Steps)
+	}
+	if s.EpsDen == 0 {
+		s.EpsDen = 1
+	}
+	if _, err := eps.New(s.EpsNum, s.EpsDen); err != nil {
+		return err
+	}
+	switch s.Monitor {
+	case "approx", "topk", "half-eps":
+		if s.EpsNum == 0 {
+			return fmt.Errorf("scenario: monitor %q needs ε > 0", s.Monitor)
+		}
+	case "exact-mid", "naive", "mid-naive":
+	default:
+		return fmt.Errorf("scenario: unknown monitor %q", s.Monitor)
+	}
+	switch s.Workload.Kind {
+	case "walk", "jumps", "oscillator", "loads", "climber", "descender", "lowerbound":
+	default:
+		return fmt.Errorf("scenario: unknown workload %q", s.Workload.Kind)
+	}
+	return nil
+}
+
+// Eps returns the scenario's error.
+func (s *Spec) Eps() eps.Eps {
+	e, err := eps.New(s.EpsNum, s.EpsDen)
+	if err != nil {
+		panic(err) // Validate ran first
+	}
+	return e
+}
+
+// orDefault returns v, or d when v is zero.
+func orDefault[T int | int64 | float64](v, d T) T {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+// BuildGenerator constructs the workload.
+func (s *Spec) BuildGenerator() (stream.Generator, error) {
+	w := s.Workload
+	switch w.Kind {
+	case "walk":
+		return stream.NewWalk(s.N, orDefault(w.Start, 10000), orDefault(w.Step, 100),
+			orDefault(w.Max, 1<<20), s.Seed+100), nil
+	case "jumps":
+		lo := w.Lo
+		hi := orDefault(w.Hi, 100000)
+		if hi <= lo {
+			return nil, fmt.Errorf("scenario: jumps needs hi > lo")
+		}
+		return stream.NewJumps(s.N, lo, hi, s.Seed+100), nil
+	case "oscillator":
+		top := orDefault(w.Top, s.K-1)
+		low := orDefault(w.Low, s.N/4)
+		dense := s.N - top - low
+		if dense < 1 {
+			return nil, fmt.Errorf("scenario: oscillator splits leave no dense nodes")
+		}
+		base := orDefault(w.Base, int64(10000))
+		return stream.NewOscillator(top, dense, low, base,
+			orDefault(w.Amplitude, base/20), base*64, base/64, s.Seed+100), nil
+	case "loads":
+		return stream.NewLoads(s.N, orDefault(w.Base, 1000), orDefault(w.Amplitude, 40),
+			orDefault(w.BurstProb, 0.01), orDefault(w.BurstSize, 4000),
+			orDefault(w.Max, 1<<20), s.Seed+100), nil
+	case "climber":
+		rest := s.N - s.K - 1
+		if rest < 1 {
+			return nil, fmt.Errorf("scenario: climber needs n ≥ k+2")
+		}
+		return stream.NewClimber(s.K, rest, orDefault(w.Top64(), int64(1<<20))), nil
+	case "descender":
+		rest := s.N - s.K - 1
+		if rest < 1 {
+			return nil, fmt.Errorf("scenario: descender needs n ≥ k+2")
+		}
+		return stream.NewDescender(s.K, rest, orDefault(w.Top64(), int64(1<<20))), nil
+	case "lowerbound":
+		sigma := orDefault(w.Sigma, s.K+2)
+		rest := s.N - sigma
+		if rest < 0 {
+			return nil, fmt.Errorf("scenario: lowerbound σ=%d exceeds n=%d", sigma, s.N)
+		}
+		return stream.NewLowerBound(sigma, rest, s.K, s.Eps(), orDefault(w.Y0, 1<<20)), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown workload %q", w.Kind)
+	}
+}
+
+// Top64 exposes the Top knob at int64 precision (climber/descender plateau).
+func (w Workload) Top64() int64 {
+	if w.Max != 0 {
+		return w.Max
+	}
+	return int64(w.Top)
+}
+
+// BuildMonitor constructs the algorithm on a cluster.
+func (s *Spec) BuildMonitor(c cluster.Cluster) (protocol.Monitor, error) {
+	e := s.Eps()
+	switch s.Monitor {
+	case "approx":
+		return protocol.NewApprox(c, s.K, e), nil
+	case "topk":
+		return protocol.NewTopKProto(c, s.K, e), nil
+	case "exact-mid":
+		return protocol.NewExactMid(c, s.K), nil
+	case "half-eps":
+		return protocol.NewHalfEps(c, s.K, e), nil
+	case "naive":
+		return protocol.NewNaive(c, s.K), nil
+	case "mid-naive":
+		return protocol.NewMidNaive(c, s.K), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown monitor %q", s.Monitor)
+	}
+}

@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"topkmon/internal/lockstep"
+)
+
+const validJSON = `{
+  "name": "demo",
+  "n": 16, "k": 3,
+  "epsNum": 1, "epsDen": 8,
+  "steps": 100, "seed": 7,
+  "monitor": "approx",
+  "workload": {"kind": "oscillator", "base": 5000, "amplitude": 200}
+}`
+
+func TestParseValid(t *testing.T) {
+	s, err := Parse(strings.NewReader(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "demo" || s.N != 16 || s.K != 3 {
+		t.Errorf("parsed spec wrong: %+v", s)
+	}
+	if s.Eps().String() != "1/8" {
+		t.Errorf("eps = %v", s.Eps())
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":   `{"n":4,"k":1,"steps":1,"monitor":"naive","workload":{"kind":"walk"},"bogus":1}`,
+		"k >= n":          `{"n":4,"k":4,"steps":1,"monitor":"naive","workload":{"kind":"walk"}}`,
+		"n too small":     `{"n":1,"k":1,"steps":1,"monitor":"naive","workload":{"kind":"walk"}}`,
+		"no steps":        `{"n":4,"k":1,"monitor":"naive","workload":{"kind":"walk"}}`,
+		"bad monitor":     `{"n":4,"k":1,"steps":1,"monitor":"wat","workload":{"kind":"walk"}}`,
+		"bad workload":    `{"n":4,"k":1,"steps":1,"monitor":"naive","workload":{"kind":"wat"}}`,
+		"eps needed":      `{"n":4,"k":1,"steps":1,"monitor":"approx","workload":{"kind":"walk"}}`,
+		"eps ≥ 1":         `{"n":4,"k":1,"steps":1,"epsNum":3,"epsDen":2,"monitor":"approx","workload":{"kind":"walk"}}`,
+		"not even json":   `nope`,
+		"jumps empty rng": `{"n":4,"k":1,"steps":1,"monitor":"naive","workload":{"kind":"jumps","lo":5,"hi":5}}`,
+	}
+	for name, js := range cases {
+		t.Run(name, func(t *testing.T) {
+			s, err := Parse(strings.NewReader(js))
+			if err == nil {
+				// Some constraints only surface at build time.
+				if _, err = s.BuildGenerator(); err == nil {
+					t.Errorf("accepted invalid scenario %q", js)
+				}
+			}
+		})
+	}
+}
+
+// TestAllWorkloadsAndMonitorsBuildAndRun: every (workload, monitor)
+// combination from a scenario constructs and survives a short run.
+func TestAllWorkloadsAndMonitorsBuildAndRun(t *testing.T) {
+	workloads := []string{"walk", "jumps", "oscillator", "loads", "climber", "descender", "lowerbound"}
+	monitors := []string{"approx", "topk", "exact-mid", "half-eps", "naive", "mid-naive"}
+	for _, w := range workloads {
+		for _, m := range monitors {
+			t.Run(w+"/"+m, func(t *testing.T) {
+				s := &Spec{
+					N: 12, K: 3, EpsNum: 1, EpsDen: 8, Steps: 30, Seed: 5,
+					Monitor:  m,
+					Workload: Workload{Kind: w, Sigma: 6},
+				}
+				if err := s.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				gen, err := s.BuildGenerator()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gen.N() < s.K+1 {
+					t.Fatalf("generator built %d nodes for k=%d", gen.N(), s.K)
+				}
+				eng := lockstep.New(gen.N(), s.Seed)
+				mon, err := s.BuildMonitor(eng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for ts := 0; ts < s.Steps; ts++ {
+					eng.Advance(gen.Next(ts))
+					if ts == 0 {
+						mon.Start()
+					} else {
+						mon.HandleStep()
+					}
+					eng.EndStep()
+				}
+				if len(mon.Output()) != s.K {
+					t.Errorf("output size %d", len(mon.Output()))
+				}
+			})
+		}
+	}
+}
+
+func TestEpsDenDefaults(t *testing.T) {
+	s := &Spec{N: 4, K: 1, Steps: 1, Monitor: "naive", Workload: Workload{Kind: "walk"}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Eps().IsZero() {
+		t.Errorf("default eps should be 0, got %v", s.Eps())
+	}
+}

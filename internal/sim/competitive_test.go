@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"topkmon/internal/cluster"
+	"topkmon/internal/eps"
+	"topkmon/internal/protocol"
+	"topkmon/internal/stream"
+)
+
+// TestExactMidEpochsMatchOPTBreaks pins the heart of Corollary 3.3's
+// competitive argument: every completed epoch of the exact monitor forces
+// the offline optimum to communicate at least once, so
+// epochs ≤ OPT breaks + 1 — with equality on the adaptive climber.
+func TestExactMidEpochsMatchOPTBreaks(t *testing.T) {
+	for _, delta := range []int64{1 << 12, 1 << 20, 1 << 28} {
+		t.Run(fmt.Sprintf("delta=2^%d", log2(delta)), func(t *testing.T) {
+			rep, err := Run(Config{
+				K: 3, Steps: 800, Seed: 7,
+				Gen:        stream.NewClimber(3, 8, delta),
+				NewMonitor: func(c cluster.Cluster) protocol.Monitor { return protocol.NewExactMid(c, 3) },
+				Validate:   ValidateExact,
+				ComputeOPT: true, OPTEps: eps.Zero,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Epochs > int64(rep.OPTBreaks)+1 {
+				t.Errorf("epochs %d exceed OPT breaks %d + 1: the per-epoch OPT argument fails",
+					rep.Epochs, rep.OPTBreaks)
+			}
+			if rep.Epochs < int64(rep.OPTBreaks) {
+				t.Logf("note: OPT broke more often than epochs (%d vs %d) — allowed, greedy counts maximal segments",
+					rep.OPTBreaks, rep.Epochs)
+			}
+		})
+	}
+}
+
+// TestTopKEpochsBoundedByExactOPT pins Theorem 4.5's adversary model: the
+// ε-monitor's epochs are bounded by the breaks of an EXACT offline optimum
+// (plus one open epoch).
+func TestTopKEpochsBoundedByExactOPT(t *testing.T) {
+	e := eps.MustNew(1, 8)
+	rep, err := Run(Config{
+		K: 3, Eps: e, Steps: 800, Seed: 11,
+		Gen:        stream.NewClimber(3, 8, 1<<24),
+		NewMonitor: func(c cluster.Cluster) protocol.Monitor { return protocol.NewTopKProto(c, 3, e) },
+		Validate:   ValidateEps,
+		ComputeOPT: true, OPTEps: eps.Zero, // exact adversary
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs > int64(rep.OPTBreaks)+1 {
+		t.Errorf("epochs %d exceed exact-OPT breaks %d + 1", rep.Epochs, rep.OPTBreaks)
+	}
+}
+
+// TestExactMidPerEpochBound: empirical guard on the Corollary 3.3 shape —
+// msgs/epoch ≤ C·(k·log n + log Δ) with a generous constant.
+func TestExactMidPerEpochBound(t *testing.T) {
+	const k, rest = 4, 11
+	n := float64(k + 1 + rest)
+	for _, delta := range []int64{1 << 12, 1 << 24, 1 << 36} {
+		rep, err := Run(Config{
+			K: k, Steps: 1000, Seed: 3,
+			Gen:        stream.NewClimber(k, rest, delta),
+			NewMonitor: func(c cluster.Cluster) protocol.Monitor { return protocol.NewExactMid(c, k) },
+			Validate:   ValidateExact,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perEpoch := float64(rep.Messages.Total()) / float64(rep.Epochs)
+		bound := 6 * (float64(k)*math.Log2(n) + math.Log2(float64(delta)))
+		if perEpoch > bound {
+			t.Errorf("Δ=2^%d: %.1f msgs/epoch exceeds C(k log n + log Δ) = %.1f",
+				log2(delta), perEpoch, bound)
+		}
+	}
+}
+
+// TestTopKPerEpochFlatInDelta: empirical guard on Theorem 4.5's shape —
+// per-epoch cost against the descender must not grow with Δ.
+func TestTopKPerEpochFlatInDelta(t *testing.T) {
+	const k, rest = 4, 11
+	e := eps.MustNew(1, 8)
+	per := map[int64]float64{}
+	for _, delta := range []int64{1 << 12, 1 << 36} {
+		rep, err := Run(Config{
+			K: k, Eps: e, Steps: 1000, Seed: 5,
+			Gen:        stream.NewDescender(k, rest, delta),
+			NewMonitor: func(c cluster.Cluster) protocol.Monitor { return protocol.NewTopKProto(c, k, e) },
+			Validate:   ValidateEps,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		per[delta] = float64(rep.Messages.Total()) / float64(rep.Epochs)
+	}
+	small, big := per[1<<12], per[1<<36]
+	if big > small*1.25 {
+		t.Errorf("per-epoch cost grew from %.1f (Δ=2^12) to %.1f (Δ=2^36): log Δ leaked back in",
+			small, big)
+	}
+}
+
+// TestHalfEpsBeatsApproxPerEpoch: Corollary 5.9's point — with the adversary
+// weakened to ε/2, per-epoch cost drops well below the Theorem 5.8
+// controller's on the same dense workload.
+func TestHalfEpsBeatsApproxPerEpoch(t *testing.T) {
+	const k = 4
+	e := eps.MustNew(1, 4)
+	mkGen := func() stream.Generator {
+		base := int64(4096)
+		amp := (base - e.ShrinkFloor(base)) * 9 / 10
+		return stream.NewOscillator(k-1, 24, 4, base, amp, base*100, base/100, 5)
+	}
+	run := func(mk func(cluster.Cluster) protocol.Monitor) float64 {
+		rep, err := Run(Config{
+			K: k, Eps: e, Steps: 800, Seed: 3,
+			Gen:        mkGen(),
+			NewMonitor: mk,
+			Validate:   ValidateEps,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(rep.Messages.Total()) / float64(rep.Epochs)
+	}
+	ap := run(func(c cluster.Cluster) protocol.Monitor { return protocol.NewApprox(c, k, e) })
+	he := run(func(c cluster.Cluster) protocol.Monitor { return protocol.NewHalfEps(c, k, e) })
+	if he >= ap {
+		t.Errorf("half-eps per-epoch (%.1f) should undercut approx (%.1f)", he, ap)
+	}
+	t.Logf("per-epoch: approx=%.1f half-eps=%.1f", ap, he)
+}
+
+func log2(x int64) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}

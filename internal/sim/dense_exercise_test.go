@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+
+	"topkmon/internal/cluster"
+	"topkmon/internal/eps"
+	"topkmon/internal/protocol"
+	"topkmon/internal/stream"
+)
+
+// TestDenseProtocolIsExercised drives the Approx controller on a workload
+// whose k-th value sits inside a dense oscillating band, and asserts that
+// DENSEPROTOCOL (and, over enough churn, SUBPROTOCOL) actually ran — the
+// correctness tests would be vacuous for Section 5 if the controller always
+// fell through to TOP-K-PROTOCOL.
+func TestDenseProtocolIsExercised(t *testing.T) {
+	const n, k, steps = 24, 4, 1500
+	e := eps.MustNew(1, 4) // wide neighborhood: (1-ε)v_k = 0.75·v_k
+	// 2 pinned-high nodes, 18 oscillating around 1000 ± 40 (inside the
+	// ε-neighborhood of v_k ≈ 1000), 4 pinned low.
+	gen := stream.NewOscillator(2, 18, 4, 1000, 40, 100000, 10, 77)
+
+	var ap *protocol.Approx
+	rep, err := Run(Config{
+		K: k, Eps: e, Steps: steps, Seed: 21,
+		Gen: gen,
+		NewMonitor: func(c cluster.Cluster) protocol.Monitor {
+			ap = protocol.NewApprox(c, k, e)
+			return ap
+		},
+		Validate: ValidateEps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.DenseEpochs() == 0 {
+		t.Fatal("DENSEPROTOCOL never ran on a dense workload")
+	}
+	t.Logf("messages=%d epochs=%d denseEpochs=%d subCalls=%d sigmaMax=%d",
+		rep.Messages.Total(), rep.Epochs, ap.DenseEpochs(), ap.SubCalls(), rep.SigmaMax)
+}
+
+// TestDenseWithTightOscillation: oscillation fully inside the neighborhood
+// should eventually be communication-free for an ε-monitor once the sets
+// stabilise — total cost must be far below the naive monitor's.
+func TestDenseWithTightOscillation(t *testing.T) {
+	const n, k, steps = 20, 3, 1000
+	e := eps.MustNew(1, 3)
+	mk := func() stream.Generator {
+		return stream.NewOscillator(2, 14, 4, 3000, 20, 300000, 10, 99)
+	}
+
+	apRep, err := Run(Config{
+		K: k, Eps: e, Steps: steps, Seed: 4,
+		Gen:        mk(),
+		NewMonitor: func(c cluster.Cluster) protocol.Monitor { return protocol.NewApprox(c, k, e) },
+		Validate:   ValidateEps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nvRep, err := Run(Config{
+		K: k, Eps: e, Steps: steps, Seed: 4,
+		Gen:        mk(),
+		NewMonitor: func(c cluster.Cluster) protocol.Monitor { return protocol.NewNaive(c, k) },
+		Validate:   ValidateEps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apRep.Messages.Total()*2 >= nvRep.Messages.Total() {
+		t.Errorf("approx monitor (%d msgs) should be well below naive (%d msgs) on tight oscillation",
+			apRep.Messages.Total(), nvRep.Messages.Total())
+	}
+	t.Logf("approx=%d naive=%d", apRep.Messages.Total(), nvRep.Messages.Total())
+}
+
+// TestLowerBoundAdversary runs the Theorem 5.1 instance and checks the
+// online cost exceeds the offline realistic cost by a factor growing with
+// σ/k — the Ω(σ/k) lower bound's empirical shape.
+func TestLowerBoundAdversary(t *testing.T) {
+	const k = 2
+	e := eps.MustNew(1, 4)
+	for _, sigma := range []int{6, 12, 24} {
+		gen := stream.NewLowerBound(sigma, 4, k, e, 1<<20)
+		steps := 3 * (sigma - k) // a few phases
+		rep, err := Run(Config{
+			K: k, Eps: e, Steps: steps, Seed: 17,
+			Gen:        gen,
+			NewMonitor: func(c cluster.Cluster) protocol.Monitor { return protocol.NewApprox(c, k, e) },
+			Validate:   ValidateEps,
+			ComputeOPT: true, OPTEps: e,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Messages.Total() < int64(sigma-k) {
+			t.Errorf("σ=%d: adversary should force ≥ σ-k messages, got %d", sigma, rep.Messages.Total())
+		}
+		t.Logf("σ=%d: online=%d optBreaks=%d optRealistic=%d ratioLB=%.1f",
+			sigma, rep.Messages.Total(), rep.OPTBreaks, rep.OPTRealistic, rep.RatioLB)
+	}
+}

@@ -1,0 +1,173 @@
+// Package sim drives complete monitoring runs: a workload generator feeds a
+// cluster engine, a monitor processes each step, the oracle validates every
+// output, and the offline package prices the adversary's optimum on the
+// recorded trace. The resulting Report carries everything the experiment
+// harness tabulates.
+package sim
+
+import (
+	"fmt"
+
+	"topkmon/internal/cluster"
+	"topkmon/internal/eps"
+	"topkmon/internal/lockstep"
+	"topkmon/internal/metrics"
+	"topkmon/internal/offline"
+	"topkmon/internal/oracle"
+	"topkmon/internal/protocol"
+	"topkmon/internal/stream"
+)
+
+// Validate selects the per-step output check.
+type Validate int
+
+const (
+	// ValidateNone skips output validation (pure benchmarking).
+	ValidateNone Validate = iota
+	// ValidateEps checks the ε-Top-k properties each step.
+	ValidateEps
+	// ValidateExact checks output == exact top-k each step.
+	ValidateExact
+)
+
+// Config describes one run.
+type Config struct {
+	K     int
+	Eps   eps.Eps
+	Steps int
+	Seed  uint64
+
+	// Gen supplies the streams; adaptive generators see filters/output.
+	Gen stream.Generator
+	// NewMonitor builds the algorithm under test on the engine.
+	NewMonitor func(c cluster.Cluster) protocol.Monitor
+
+	Validate Validate
+
+	// ComputeOPT solves the offline optimum on the recorded trace with
+	// OPTEps (which may differ from Eps, e.g. ε/2 for Corollary 5.9).
+	ComputeOPT bool
+	OPTEps     eps.Eps
+
+	// Engine overrides the default lockstep engine (the live engine's
+	// integration tests inject theirs).
+	Engine cluster.Engine
+
+	// KeepTrace retains the recorded matrix in the report.
+	KeepTrace bool
+}
+
+// Report summarises one run.
+type Report struct {
+	Monitor  string
+	Workload string
+	N        int
+	K        int
+	Eps      eps.Eps
+	Steps    int
+
+	Messages metrics.Snapshot
+	Epochs   int64
+
+	SigmaMax     int
+	OPTBreaks    int
+	OPTRealistic int64
+
+	// RatioLB is messages / max(1, OPT breaks): the empirical competitive
+	// ratio against the break lower bound.
+	RatioLB float64
+
+	MaxRounds int64
+	MaxBits   int
+
+	Trace [][]int64
+}
+
+// Run executes the configured simulation. It returns an error on the first
+// invalid output (with full step context) — validation is the reproduction's
+// correctness instrument, so it fails loudly.
+func Run(cfg Config) (Report, error) {
+	if cfg.Gen == nil || cfg.NewMonitor == nil {
+		return Report{}, fmt.Errorf("sim: Gen and NewMonitor are required")
+	}
+	if cfg.Steps < 1 {
+		return Report{}, fmt.Errorf("sim: need at least one step")
+	}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = lockstep.New(cfg.Gen.N(), cfg.Seed)
+	}
+	mon := cfg.NewMonitor(eng)
+
+	rep := Report{
+		Monitor:  mon.Name(),
+		Workload: cfg.Gen.Name(),
+		N:        cfg.Gen.N(),
+		K:        cfg.K,
+		Eps:      cfg.Eps,
+		Steps:    cfg.Steps,
+	}
+	adaptive, _ := cfg.Gen.(stream.Adaptive)
+	trace := make([][]int64, 0, cfg.Steps)
+
+	for t := 0; t < cfg.Steps; t++ {
+		if adaptive != nil {
+			adaptive.ObserveFilters(eng.Filters(), mon.Output())
+		}
+		vals := cfg.Gen.Next(t)
+		eng.Advance(vals)
+		trace = append(trace, vals)
+
+		if t == 0 {
+			mon.Start()
+		} else {
+			mon.HandleStep()
+		}
+
+		if cfg.Validate != ValidateNone {
+			truth := oracle.Compute(vals, cfg.K, cfg.Eps)
+			if truth.Sigma > rep.SigmaMax {
+				rep.SigmaMax = truth.Sigma
+			}
+			var err error
+			if cfg.Validate == ValidateExact {
+				err = truth.ValidateExact(mon.Output())
+			} else {
+				err = truth.ValidateEps(mon.Output())
+			}
+			if err != nil {
+				return rep, fmt.Errorf("sim: step %d, monitor %s on %s: %w",
+					t, rep.Monitor, rep.Workload, err)
+			}
+		}
+		eng.EndStep()
+	}
+
+	rep.Messages = eng.Counters().Snapshot()
+	rep.Epochs = mon.Epochs()
+	rep.MaxRounds = rep.Messages.MaxRounds
+	rep.MaxBits = rep.Messages.MaxBits
+
+	if cfg.ComputeOPT {
+		optEps := cfg.OPTEps
+		inst, err := offline.NewInstance(trace, cfg.K, optEps)
+		if err != nil {
+			return rep, fmt.Errorf("sim: offline instance: %w", err)
+		}
+		res := inst.Solve()
+		rep.OPTBreaks = res.Breaks
+		rep.OPTRealistic = res.Realistic
+		denom := float64(res.Breaks)
+		if denom < 1 {
+			denom = 1
+		}
+		rep.RatioLB = float64(rep.Messages.Total()) / denom
+		if rep.SigmaMax == 0 {
+			rep.SigmaMax = inst.SigmaMax()
+		}
+	}
+	if cfg.KeepTrace {
+		rep.Trace = trace
+	}
+	return rep, nil
+}

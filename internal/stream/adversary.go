@@ -1,0 +1,125 @@
+package stream
+
+import (
+	"fmt"
+
+	"topkmon/internal/eps"
+	"topkmon/internal/filter"
+)
+
+// LowerBound is the adaptive adversary of Theorem 5.1. Sigma nodes start at
+// Y0 (the rest clearly below); each step the adversary inspects the
+// monitor's filters and drops one output-side node still at Y0 to
+// Y1 < (1-ε)·Y0, forcing a filter violation — any valid filter set must
+// leave some droppable node, as the theorem's argument shows. After σ-k
+// drops it restores the σ nodes to Y0 and repeats, extending the instance
+// to arbitrary length while an offline algorithm pays only k+1 messages per
+// phase.
+type LowerBound struct {
+	Sigma int // nodes starting at Y0 (σ ∈ [k+1, n])
+	Rest  int // additional clearly-low nodes
+	K     int
+	Eps   eps.Eps
+	Y0    int64
+	Y1    int64 // must satisfy Y1 < (1-ε)·Y0
+	Low   int64 // level of the Rest nodes (clearly below Y1's neighborhood)
+
+	cur     []int64
+	filters []filter.Interval
+	output  []int
+	dropped int
+}
+
+// NewLowerBound builds the Theorem 5.1 instance. It derives Y1 as the
+// largest integer strictly below (1-ε)·Y0.
+func NewLowerBound(sigma, rest, k int, e eps.Eps, y0 int64) *LowerBound {
+	if sigma < k+1 {
+		panic(fmt.Sprintf("stream: lower bound needs σ ≥ k+1, got σ=%d k=%d", sigma, k))
+	}
+	y1 := e.ShrinkCeil(y0) - 1 // largest integer < (1-ε)·y0
+	if y1 < 1 {
+		panic("stream: y0 too small to fit y1 < (1-ε)·y0")
+	}
+	g := &LowerBound{
+		Sigma: sigma, Rest: rest, K: k, Eps: e,
+		Y0: y0, Y1: y1, Low: y1 / 4,
+	}
+	g.cur = make([]int64, sigma+rest)
+	for i := 0; i < sigma; i++ {
+		g.cur[i] = y0
+	}
+	for i := sigma; i < len(g.cur); i++ {
+		g.cur[i] = g.Low
+	}
+	return g
+}
+
+// Name implements Generator.
+func (g *LowerBound) Name() string { return fmt.Sprintf("thm5.1(σ=%d,k=%d)", g.Sigma, g.K) }
+
+// N implements Generator.
+func (g *LowerBound) N() int { return g.Sigma + g.Rest }
+
+// ObserveFilters implements Adaptive.
+func (g *LowerBound) ObserveFilters(filters []filter.Interval, output []int) {
+	g.filters = filters
+	g.output = output
+}
+
+// Next implements Generator. Step 0 emits the initial configuration; each
+// later step drops one victim, preferring an output node at Y0 whose filter
+// the drop violates.
+func (g *LowerBound) Next(t int) []int64 {
+	if t == 0 {
+		return append([]int64(nil), g.cur...)
+	}
+	if g.dropped >= g.Sigma-g.K {
+		// Phase over: restore and start the next phase.
+		for i := 0; i < g.Sigma; i++ {
+			g.cur[i] = g.Y0
+		}
+		g.dropped = 0
+		return append([]int64(nil), g.cur...)
+	}
+	victim := g.pickVictim()
+	if victim >= 0 {
+		g.cur[victim] = g.Y1
+		g.dropped++
+	}
+	return append([]int64(nil), g.cur...)
+}
+
+// pickVictim chooses an output-side node still at Y0 whose filter's lower
+// bound exceeds Y1, so the drop is guaranteed to violate. As argued in
+// Theorem 5.1 such a node must exist under any valid filter set; the
+// fallbacks (any output node at Y0, then any node at Y0) only fire against
+// invalid or unknown filters.
+func (g *LowerBound) pickVictim() int {
+	inOut := make(map[int]bool, len(g.output))
+	for _, id := range g.output {
+		inOut[id] = true
+	}
+	for i := 0; i < g.Sigma; i++ {
+		if g.cur[i] == g.Y0 && inOut[i] && g.filterLo(i) > g.Y1 {
+			return i
+		}
+	}
+	for i := 0; i < g.Sigma; i++ {
+		if g.cur[i] == g.Y0 && inOut[i] {
+			return i
+		}
+	}
+	for i := 0; i < g.Sigma; i++ {
+		if g.cur[i] == g.Y0 {
+			return i
+		}
+	}
+	return -1
+}
+
+func (g *LowerBound) filterLo(i int) int64 {
+	if g.filters == nil || i >= len(g.filters) {
+		return filter.Inf // unknown: assume the drop violates
+	}
+	return g.filters[i].Lo
+}

@@ -1,0 +1,100 @@
+package stream
+
+import (
+	"fmt"
+
+	"topkmon/internal/filter"
+)
+
+// Climber is the adaptive adversary behind the Δ-dependence experiments
+// (E3/E4/E9): k nodes sit on a fixed plateau near Top, fill nodes idle at
+// the bottom, and one designated climber repeatedly ascends from LowBase by
+// always jumping to one past the upper endpoint of its current filter —
+// the worst case for separator-placement strategies. Every jump forces a
+// violation, so an arithmetic-bisection monitor pays ~log₂(Top) violations
+// per ascent while the Section 4 phase strategies pay ~log log Top.
+//
+// When the climber's filter cap reaches the plateau it overtakes the lowest
+// plateau node (forcing a top-k change the offline optimum must also pay
+// for), then demotes itself back to LowBase, completing a cycle.
+type Climber struct {
+	K    int   // plateau nodes (the stable top-k)
+	Rest int   // idle low fill nodes
+	Top  int64 // plateau level (Δ scale)
+
+	LowBase int64
+	climber int
+	cur     []int64
+	filters []filter.Interval
+
+	// Cycles counts completed climb-overtake-demote cycles.
+	Cycles int
+}
+
+// NewClimber builds the adversary; n = k + 1 + rest.
+func NewClimber(k, rest int, top int64) *Climber {
+	if k < 1 || rest < 1 {
+		panic("stream: Climber needs k ≥ 1 and rest ≥ 1")
+	}
+	lowBase := int64(rest) + 2
+	if top <= 4*lowBase {
+		panic(fmt.Sprintf("stream: Climber plateau %d too low", top))
+	}
+	g := &Climber{K: k, Rest: rest, Top: top, LowBase: lowBase, climber: k}
+	g.cur = make([]int64, k+1+rest)
+	for i := 0; i < k; i++ {
+		// Distinct plateau values top+2, top+4, …; the overtake value
+		// top+3 slots between the two lowest without collision.
+		g.cur[i] = top + 2*int64(k-i)
+	}
+	g.cur[k] = lowBase
+	for i := k + 1; i < len(g.cur); i++ {
+		g.cur[i] = int64(i - k) // 1, 2, …, rest < lowBase
+	}
+	return g
+}
+
+// Name implements Generator.
+func (g *Climber) Name() string { return fmt.Sprintf("climber(top=%d,k=%d)", g.Top, g.K) }
+
+// N implements Generator.
+func (g *Climber) N() int { return g.K + 1 + g.Rest }
+
+// ObserveFilters implements Adaptive.
+func (g *Climber) ObserveFilters(filters []filter.Interval, _ []int) {
+	g.filters = filters
+}
+
+// Next implements Generator.
+func (g *Climber) Next(t int) []int64 {
+	if t == 0 {
+		return append([]int64(nil), g.cur...)
+	}
+	c := g.climber
+	cap := int64(-1)
+	if g.filters != nil && c < len(g.filters) {
+		cap = g.filters[c].Hi
+	}
+	minTop := g.Top + 2 // the lowest plateau value
+	switch {
+	case g.cur[c] > g.Top:
+		// Overtaken last step: complete the cycle by demoting.
+		g.cur[c] = g.LowBase
+		g.Cycles++
+	case cap >= filter.Inf || cap+1 > 2*g.Top:
+		// The monitor placed the climber on the unbounded output side
+		// (or pushed the cap past the plateau): demote to end the cycle.
+		g.cur[c] = g.LowBase
+		g.Cycles++
+	case cap+1 >= minTop:
+		// The separator search is exhausted: overtake the lowest
+		// plateau node decisively (top+3 sits between top+2 and top+4).
+		g.cur[c] = minTop + 1
+	case cap < g.cur[c]:
+		// The filter already excludes the current value (mid-epoch churn);
+		// hold still and let the monitor settle.
+	default:
+		g.cur[c] = cap + 1
+	}
+	return append([]int64(nil), g.cur...)
+}

@@ -1,0 +1,100 @@
+package stream
+
+import (
+	"testing"
+
+	"topkmon/internal/filter"
+)
+
+func TestClimberShape(t *testing.T) {
+	g := NewClimber(3, 5, 1<<20)
+	if g.N() != 9 {
+		t.Fatalf("N = %d", g.N())
+	}
+	first := g.Next(0)
+	// Plateau values distinct and above Top.
+	seen := map[int64]bool{}
+	for i := 0; i < 3; i++ {
+		if first[i] <= 1<<20 || seen[first[i]] {
+			t.Fatalf("plateau value %d invalid", first[i])
+		}
+		seen[first[i]] = true
+	}
+	if first[3] != g.LowBase {
+		t.Fatalf("climber must start at LowBase, got %d", first[3])
+	}
+	for i := 4; i < 9; i++ {
+		if first[i] >= g.LowBase {
+			t.Fatalf("fill node %d at %d not below LowBase", i, first[i])
+		}
+	}
+}
+
+// TestClimberChasesFilterCap: each step the climber lands one past its
+// filter's upper endpoint until it overtakes, then demotes.
+func TestClimberChasesFilterCap(t *testing.T) {
+	g := NewClimber(2, 3, 1<<16)
+	n := g.N()
+	g.Next(0)
+	filters := make([]filter.Interval, n)
+	for i := range filters {
+		filters[i] = filter.All
+	}
+	// Simulate a bisecting monitor: cap at successive midpoints.
+	cap := int64(1 << 15)
+	for step := 1; step <= 3; step++ {
+		filters[2] = filter.AtMost(cap)
+		g.ObserveFilters(filters, nil)
+		vals := g.Next(step)
+		if vals[2] != cap+1 {
+			t.Fatalf("step %d: climber at %d, want %d", step, vals[2], cap+1)
+		}
+		cap += (1<<16 - cap) / 2
+	}
+	// Cap at the plateau edge: the climber must overtake.
+	minTop := int64(1<<16) + 2
+	filters[2] = filter.AtMost(minTop - 1)
+	g.ObserveFilters(filters, nil)
+	vals := g.Next(4)
+	if vals[2] != minTop+1 {
+		t.Fatalf("expected overtake to %d, got %d", minTop+1, vals[2])
+	}
+	// Next step: demotion and a counted cycle.
+	g.ObserveFilters(filters, nil)
+	vals = g.Next(5)
+	if vals[2] != g.LowBase {
+		t.Fatalf("expected demotion to %d, got %d", g.LowBase, vals[2])
+	}
+	if g.Cycles != 1 {
+		t.Fatalf("Cycles = %d", g.Cycles)
+	}
+}
+
+// TestClimberDemotesOnUnboundedFilter: an output-side (unbounded) filter on
+// the climber also completes the cycle.
+func TestClimberDemotesOnUnboundedFilter(t *testing.T) {
+	g := NewClimber(2, 3, 1<<16)
+	n := g.N()
+	g.Next(0)
+	filters := make([]filter.Interval, n)
+	for i := range filters {
+		filters[i] = filter.AtLeast(0)
+	}
+	g.ObserveFilters(filters, nil)
+	vals := g.Next(1)
+	if vals[2] != g.LowBase {
+		t.Fatalf("unbounded filter must demote, got %d", vals[2])
+	}
+	if g.Cycles != 1 {
+		t.Fatalf("Cycles = %d", g.Cycles)
+	}
+}
+
+func TestClimberValidatesArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("rest=0 must panic")
+		}
+	}()
+	NewClimber(1, 0, 1<<16)
+}

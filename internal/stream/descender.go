@@ -1,0 +1,103 @@
+package stream
+
+import (
+	"fmt"
+
+	"topkmon/internal/filter"
+)
+
+// Descender is the downward twin of Climber and the adversary that
+// separates plain bisection from the Section 4 phases: a designated output
+// node repeatedly drops to one below the lower endpoint of its filter,
+// bleeding the separator search from above.
+//
+// Against arithmetic bisection (ExactMid, or TOP-K-PROTOCOL with A1/A2
+// disabled) each drop halves the remaining gap, costing ~log₂(Top)
+// violations per descent. Against phase A1 the separator sits at
+// ℓ₀ + 2^(2^r) — near the *bottom* of the gap — so the first drop already
+// burns the descender's entire range and the epoch resolves in O(1)
+// violations: slow descent is impossible, which is exactly the point of the
+// double-exponential probing.
+//
+// When the descender can no longer drop (its filter reaches the floor, or
+// the monitor moved it to the rest side) it returns to the plateau,
+// completing a cycle; both the exit and the re-entry change the top-k, so
+// the offline optimum pays every cycle too.
+type Descender struct {
+	K    int
+	Rest int
+	Top  int64
+
+	LowBase   int64
+	descender int
+	plateau   int64 // the descender's home value
+	cur       []int64
+	filters   []filter.Interval
+
+	// Cycles counts completed descend-restore cycles.
+	Cycles int
+}
+
+// NewDescender builds the adversary; n = k + 1 + rest. Node k is a fill
+// node pinned just above the fills so the gap below the plateau stays wide.
+func NewDescender(k, rest int, top int64) *Descender {
+	if k < 1 || rest < 1 {
+		panic("stream: Descender needs k ≥ 1 and rest ≥ 1")
+	}
+	lowBase := int64(rest) + 2
+	if top <= 4*lowBase {
+		panic(fmt.Sprintf("stream: Descender plateau %d too low", top))
+	}
+	g := &Descender{K: k, Rest: rest, Top: top, LowBase: lowBase, descender: k - 1}
+	g.cur = make([]int64, k+1+rest)
+	for i := 0; i < k; i++ {
+		g.cur[i] = top + 2*int64(k-i)
+	}
+	g.plateau = g.cur[g.descender] // the lowest plateau value, top+2
+	g.cur[k] = lowBase
+	for i := k + 1; i < len(g.cur); i++ {
+		g.cur[i] = int64(i - k)
+	}
+	return g
+}
+
+// Name implements Generator.
+func (g *Descender) Name() string { return fmt.Sprintf("descender(top=%d,k=%d)", g.Top, g.K) }
+
+// N implements Generator.
+func (g *Descender) N() int { return g.K + 1 + g.Rest }
+
+// ObserveFilters implements Adaptive.
+func (g *Descender) ObserveFilters(filters []filter.Interval, _ []int) {
+	g.filters = filters
+}
+
+// Next implements Generator.
+func (g *Descender) Next(t int) []int64 {
+	if t == 0 {
+		return append([]int64(nil), g.cur...)
+	}
+	d := g.descender
+	lo := int64(0)
+	hi := filter.Inf
+	if g.filters != nil && d < len(g.filters) {
+		lo, hi = g.filters[d].Lo, g.filters[d].Hi
+	}
+	switch {
+	case g.cur[d] < g.plateau && hi < g.plateau:
+		// The monitor fenced the descender on the rest side: it has left
+		// the top-k; restoring it to the plateau violates that fence and
+		// forces the reverse top-k change, completing the cycle.
+		g.cur[d] = g.plateau
+		g.Cycles++
+	case lo >= 2 && g.cur[d] >= lo:
+		// Drop to just below the filter's lower endpoint: the smallest
+		// move that forces a violation from above. Eventually this sinks
+		// below the best fill node, evicting the descender from the
+		// top-k, after which the restore case fires.
+		g.cur[d] = lo - 1
+	default:
+		// Mid-churn or no separator left to attack: hold still.
+	}
+	return append([]int64(nil), g.cur...)
+}

@@ -1,0 +1,122 @@
+package stream
+
+import (
+	"testing"
+
+	"topkmon/internal/eps"
+	"topkmon/internal/filter"
+)
+
+func TestDescenderShape(t *testing.T) {
+	g := NewDescender(3, 5, 1<<20)
+	if g.N() != 9 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.Name() == "" {
+		t.Error("empty name")
+	}
+	first := g.Next(0)
+	// The designated descender is the lowest plateau node.
+	if first[2] != 1<<20+2 {
+		t.Fatalf("descender home = %d, want %d", first[2], 1<<20+2)
+	}
+	for i := 0; i < 3; i++ {
+		if first[i] <= 1<<20 {
+			t.Fatalf("plateau node %d at %d", i, first[i])
+		}
+	}
+}
+
+// TestDescenderChasesFilterLo: each step the descender drops one below its
+// filter's lower endpoint; when fenced on the rest side it restores.
+func TestDescenderChasesFilterLo(t *testing.T) {
+	g := NewDescender(2, 3, 1<<16)
+	n := g.N()
+	g.Next(0)
+	filters := make([]filter.Interval, n)
+	for i := range filters {
+		filters[i] = filter.All
+	}
+	// Simulate a bisecting monitor fencing the descender (node 1) from
+	// below at successive midpoints.
+	lo := int64(1 << 15)
+	for step := 1; step <= 3; step++ {
+		filters[1] = filter.AtLeast(lo)
+		g.ObserveFilters(filters, nil)
+		vals := g.Next(step)
+		if vals[1] != lo-1 {
+			t.Fatalf("step %d: descender at %d, want %d", step, vals[1], lo-1)
+		}
+		lo /= 2
+	}
+	// Monitor gives up separating: rest-side filter with a low cap.
+	filters[1] = filter.AtMost(100)
+	g.ObserveFilters(filters, nil)
+	vals := g.Next(4)
+	if vals[1] != g.plateau {
+		t.Fatalf("expected restore to %d, got %d", g.plateau, vals[1])
+	}
+	if g.Cycles != 1 {
+		t.Fatalf("Cycles = %d", g.Cycles)
+	}
+}
+
+// TestDescenderHoldsWithoutSeparator: with no meaningful lower bound and
+// the value still at the plateau, the descender waits.
+func TestDescenderHoldsWithoutSeparator(t *testing.T) {
+	g := NewDescender(2, 3, 1<<16)
+	n := g.N()
+	first := g.Next(0)
+	filters := make([]filter.Interval, n)
+	for i := range filters {
+		filters[i] = filter.All // lo = 0 everywhere
+	}
+	g.ObserveFilters(filters, nil)
+	vals := g.Next(1)
+	if vals[1] != first[1] {
+		t.Fatalf("descender moved without a separator: %d → %d", first[1], vals[1])
+	}
+}
+
+func TestDescenderValidatesArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("rest=0 must panic")
+		}
+	}()
+	NewDescender(1, 0, 1<<16)
+}
+
+func TestDescenderLowPlateauPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("tiny plateau must panic")
+		}
+	}()
+	NewDescender(2, 3, 10)
+}
+
+func TestClimberLowPlateauPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("tiny plateau must panic")
+		}
+	}()
+	NewClimber(2, 3, 10)
+}
+
+func TestDistinctForwardsAdaptivity(t *testing.T) {
+	inner := NewLowerBound(5, 1, 2, eps.MustNew(1, 4), 1<<16)
+	g := Distinct{Inner: inner}
+	filters := make([]filter.Interval, g.N())
+	for i := range filters {
+		filters[i] = filter.AtLeast(1)
+	}
+	g.ObserveFilters(filters, []int{0, 1})
+	if inner.filters == nil {
+		t.Error("Distinct did not forward ObserveFilters")
+	}
+	// A non-adaptive inner is a no-op, not a crash.
+	g2 := Distinct{Inner: NewJumps(4, 0, 9, 1)}
+	g2.ObserveFilters(filters[:4], nil)
+}

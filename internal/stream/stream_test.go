@@ -1,0 +1,205 @@
+package stream
+
+import (
+	"testing"
+
+	"topkmon/internal/eps"
+	"topkmon/internal/filter"
+)
+
+func TestWalkBoundsAndDeterminism(t *testing.T) {
+	a := NewWalk(8, 1000, 50, 2000, 5)
+	b := NewWalk(8, 1000, 50, 2000, 5)
+	for step := 0; step < 200; step++ {
+		va, vb := a.Next(step), b.Next(step)
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatal("same seed must replay")
+			}
+			if va[i] < 0 || va[i] > 2000 {
+				t.Fatalf("value %d out of bounds", va[i])
+			}
+		}
+	}
+}
+
+func TestWalkStepSize(t *testing.T) {
+	g := NewWalk(4, 10000, 7, 1<<30, 3)
+	prev := g.Next(0)
+	for step := 1; step < 100; step++ {
+		cur := g.Next(step)
+		for i := range cur {
+			d := cur[i] - prev[i]
+			if d < -7 || d > 7 {
+				t.Fatalf("step %d moved by %d > Step", step, d)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestJumpsRange(t *testing.T) {
+	g := NewJumps(6, 100, 200, 9)
+	for step := 0; step < 100; step++ {
+		for _, v := range g.Next(step) {
+			if v < 100 || v > 200 {
+				t.Fatalf("jump %d outside [100,200]", v)
+			}
+		}
+	}
+}
+
+func TestOscillatorStructure(t *testing.T) {
+	g := NewOscillator(2, 5, 3, 1000, 50, 100000, 10, 4)
+	if g.N() != 10 {
+		t.Fatalf("N = %d", g.N())
+	}
+	for step := 0; step < 50; step++ {
+		vals := g.Next(step)
+		for i := 0; i < 2; i++ {
+			if vals[i] < 100000 {
+				t.Fatal("top node below TopLevel")
+			}
+		}
+		for i := 2; i < 7; i++ {
+			if vals[i] < 950 || vals[i] > 1050 {
+				t.Fatalf("dense node %d at %d outside band", i, vals[i])
+			}
+		}
+		for i := 7; i < 10; i++ {
+			if vals[i] > 60 {
+				t.Fatalf("low node %d at %d above LowLevel band", i, vals[i])
+			}
+		}
+	}
+}
+
+func TestLoadsStaysInRange(t *testing.T) {
+	g := NewLoads(8, 500, 25, 0.05, 1000, 4000, 11)
+	for step := 0; step < 300; step++ {
+		for _, v := range g.Next(step) {
+			if v < 0 || v > 4000 {
+				t.Fatalf("load %d out of range", v)
+			}
+		}
+	}
+}
+
+func TestReplay(t *testing.T) {
+	g := NewReplay("m", [][]int64{{1, 2}, {3, 4}})
+	if got := g.Next(1); got[0] != 3 || got[1] != 4 {
+		t.Fatalf("Next(1) = %v", got)
+	}
+	if got := g.Next(9); got[0] != 3 {
+		t.Fatal("beyond-end must repeat last row")
+	}
+	// Returned slices must be independent copies.
+	row := g.Next(0)
+	row[0] = 99
+	if g.Next(0)[0] == 99 {
+		t.Fatal("Replay must copy rows")
+	}
+}
+
+func TestDistinctPreservesOrderAndDistinctness(t *testing.T) {
+	g := Distinct{Inner: NewJumps(16, 0, 5, 21)} // heavy ties inside
+	for step := 0; step < 50; step++ {
+		vals := g.Next(step)
+		seen := map[int64]bool{}
+		for _, v := range vals {
+			if seen[v] {
+				t.Fatal("distinct wrapper produced a duplicate")
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestLowerBoundAdversaryShape(t *testing.T) {
+	e := eps.MustNew(1, 4)
+	g := NewLowerBound(6, 2, 2, e, 1<<16)
+	if g.Y1 >= g.Y0 {
+		t.Fatal("Y1 must be below Y0")
+	}
+	if !e.ClearlyBelow(g.Y1, g.Y0) {
+		t.Fatalf("Y1=%d must be clearly below Y0=%d", g.Y1, g.Y0)
+	}
+	first := g.Next(0)
+	for i := 0; i < 6; i++ {
+		if first[i] != g.Y0 {
+			t.Fatal("σ nodes must start at Y0")
+		}
+	}
+	// Feed filters that make every σ node droppable; one drop per step.
+	filters := make([]filter.Interval, 8)
+	for i := range filters {
+		filters[i] = filter.AtLeast(g.Y0)
+	}
+	out := []int{0, 1}
+	drops := 0
+	prev := first
+	for step := 1; step <= 4; step++ {
+		g.ObserveFilters(filters, out)
+		cur := g.Next(step)
+		changed := 0
+		for i := range cur {
+			if cur[i] != prev[i] {
+				changed++
+			}
+		}
+		if changed == 1 {
+			drops++
+		}
+		prev = cur
+	}
+	if drops != 4 {
+		t.Fatalf("expected 4 single-node drops, got %d", drops)
+	}
+}
+
+func TestLowerBoundPhaseReset(t *testing.T) {
+	e := eps.MustNew(1, 4)
+	g := NewLowerBound(4, 0, 2, e, 1<<16)
+	filters := make([]filter.Interval, 4)
+	for i := range filters {
+		filters[i] = filter.AtLeast(g.Y0)
+	}
+	g.Next(0)
+	g.ObserveFilters(filters, []int{0, 1})
+	g.Next(1) // drop 1
+	g.ObserveFilters(filters, []int{0, 1})
+	g.Next(2) // drop 2 = σ-k
+	g.ObserveFilters(filters, []int{0, 1})
+	restored := g.Next(3) // phase reset
+	for i := 0; i < 4; i++ {
+		if restored[i] != g.Y0 {
+			t.Fatalf("phase reset must restore σ nodes, got %v", restored)
+		}
+	}
+}
+
+func TestLowerBoundValidatesSigma(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("σ ≤ k must panic")
+		}
+	}()
+	NewLowerBound(2, 0, 2, eps.MustNew(1, 4), 1000)
+}
+
+func TestGeneratorNames(t *testing.T) {
+	gens := []Generator{
+		NewWalk(2, 10, 1, 100, 1),
+		NewJumps(2, 0, 9, 1),
+		NewOscillator(1, 1, 1, 10, 1, 100, 1, 1),
+		NewLoads(2, 10, 1, 0.1, 10, 100, 1),
+		NewReplay("x", [][]int64{{1, 2}}),
+		Distinct{Inner: NewJumps(2, 0, 9, 1)},
+		NewLowerBound(3, 1, 2, eps.MustNew(1, 4), 1000),
+	}
+	for _, g := range gens {
+		if g.Name() == "" || g.N() < 2 {
+			t.Errorf("generator %T metadata broken", g)
+		}
+	}
+}

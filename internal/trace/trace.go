@@ -1,0 +1,194 @@
+// Package trace persists and loads workload traces — the recorded value
+// matrices that feed replay runs and the offline optimum solver. Two
+// formats are supported: CSV (one row per step, interoperable) and a
+// compact delta-encoded binary format (magic "TKMT", varint-encoded
+// per-node deltas, ~10× smaller for smooth workloads).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace is a recorded run: Values[t][i] is node i's value at step t.
+type Trace struct {
+	Values [][]int64
+}
+
+// New wraps and validates a matrix.
+func New(values [][]int64) (*Trace, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("trace: empty matrix")
+	}
+	n := len(values[0])
+	if n == 0 {
+		return nil, fmt.Errorf("trace: zero-width matrix")
+	}
+	for t, row := range values {
+		if len(row) != n {
+			return nil, fmt.Errorf("trace: step %d has %d values, want %d", t, len(row), n)
+		}
+	}
+	return &Trace{Values: values}, nil
+}
+
+// T returns the number of steps.
+func (tr *Trace) T() int { return len(tr.Values) }
+
+// N returns the number of nodes.
+func (tr *Trace) N() int { return len(tr.Values[0]) }
+
+// --- CSV ---
+
+// WriteCSV writes one comma-separated row per step.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, row := range tr.Values {
+		for i, v := range row {
+			if i > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatInt(v, 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a CSV trace; blank lines are skipped.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var values [][]int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cells := strings.Split(line, ",")
+		row := make([]int64, len(cells))
+		for i, c := range cells {
+			v, err := strconv.ParseInt(strings.TrimSpace(c), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d cell %d: %w", len(values)+1, i+1, err)
+			}
+			row[i] = v
+		}
+		values = append(values, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(values)
+}
+
+// --- binary ---
+
+// magic identifies the binary trace format, version 1.
+var magic = [4]byte{'T', 'K', 'M', 'T'}
+
+const version = 1
+
+// WriteBinary writes the delta-encoded binary format: header (magic,
+// version, n, T), the first row varint-encoded absolute, then per step the
+// zigzag-varint delta of each node against the previous step.
+func (tr *Trace) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(x uint64) error {
+		k := binary.PutUvarint(buf[:], x)
+		_, err := bw.Write(buf[:k])
+		return err
+	}
+	writeVarint := func(x int64) error {
+		k := binary.PutVarint(buf[:], x)
+		_, err := bw.Write(buf[:k])
+		return err
+	}
+	if err := writeUvarint(version); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(tr.N())); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(tr.T())); err != nil {
+		return err
+	}
+	prev := make([]int64, tr.N())
+	for t, row := range tr.Values {
+		for i, v := range row {
+			if t == 0 {
+				if err := writeVarint(v); err != nil {
+					return err
+				}
+			} else if err := writeVarint(v - prev[i]); err != nil {
+				return err
+			}
+			prev[i] = v
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var got [4]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("trace: header: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", got)
+	}
+	ver, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: version: %w", err)
+	}
+	if ver != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	n64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: n: %w", err)
+	}
+	t64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: T: %w", err)
+	}
+	if n64 == 0 || t64 == 0 || n64 > 1<<22 || t64 > 1<<30 {
+		return nil, fmt.Errorf("trace: implausible dimensions %d×%d", t64, n64)
+	}
+	n, T := int(n64), int(t64)
+	values := make([][]int64, T)
+	prev := make([]int64, n)
+	for t := 0; t < T; t++ {
+		row := make([]int64, n)
+		for i := 0; i < n; i++ {
+			d, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: step %d node %d: %w", t, i, err)
+			}
+			if t == 0 {
+				row[i] = d
+			} else {
+				row[i] = prev[i] + d
+			}
+			prev[i] = row[i]
+		}
+		values[t] = row
+	}
+	return New(values)
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"topkmon/internal/rngx"
+)
+
+func sample() *Trace {
+	tr, err := New([][]int64{{10, 20, 30}, {11, 19, 30}, {12, 18, 31}})
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := New([][]int64{{}}); err == nil {
+		t.Error("zero-width matrix accepted")
+	}
+	if _, err := New([][]int64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Values, tr.Values) {
+		t.Fatalf("round trip mismatch: %v", got.Values)
+	}
+}
+
+func TestCSVSkipsBlankLines(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("1,2\n\n3,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.T() != 2 {
+		t.Fatalf("T = %d", got.T())
+	}
+}
+
+func TestCSVRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1,x\n")); err == nil {
+		t.Error("garbage cell accepted")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Values, tr.Values) {
+		t.Fatalf("round trip mismatch: %v", got.Values)
+	}
+}
+
+func TestBinaryRejectsBadHeader(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOPE....."))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated body.
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes()[:buf.Len()-2])); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+// TestBinaryRoundTripRandom: property test over random matrices.
+func TestBinaryRoundTripRandom(t *testing.T) {
+	rng := rngx.New(5)
+	prop := func(seed uint64) bool {
+		r := rng.Child(seed)
+		n := 1 + r.Intn(8)
+		T := 1 + r.Intn(30)
+		values := make([][]int64, T)
+		for tt := range values {
+			row := make([]int64, n)
+			for i := range row {
+				row[i] = r.Int63n(1 << 40)
+			}
+			values[tt] = row
+		}
+		tr, err := New(values)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Values, values)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBinaryBeatsCSVOnSmoothTraces: delta encoding should compress random
+// walks well below their CSV size.
+func TestBinaryBeatsCSVOnSmoothTraces(t *testing.T) {
+	r := rngx.New(8)
+	const n, T = 16, 500
+	values := make([][]int64, T)
+	cur := make([]int64, n)
+	for i := range cur {
+		cur[i] = 1 << 30
+	}
+	for tt := range values {
+		row := make([]int64, n)
+		for i := range row {
+			cur[i] += r.Int63n(21) - 10
+			row[i] = cur[i]
+		}
+		values[tt] = row
+	}
+	tr, _ := New(values)
+	var csvBuf, binBuf bytes.Buffer
+	if err := tr.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteBinary(&binBuf); err != nil {
+		t.Fatal(err)
+	}
+	if binBuf.Len()*4 > csvBuf.Len() {
+		t.Errorf("binary (%d B) should be ≪ CSV (%d B) on smooth traces",
+			binBuf.Len(), csvBuf.Len())
+	}
+}

@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"testing"
+
+	"topkmon/internal/filter"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+	seen := map[string]bool{}
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if seen[k.String()] {
+			t.Errorf("duplicate kind name %q", k.String())
+		}
+		seen[k.String()] = true
+	}
+}
+
+func TestTagStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for tg := Tag(0); tg < NumTags; tg++ {
+		s := tg.String()
+		if s == "" || seen[s] {
+			t.Errorf("tag %d name %q invalid or duplicate", tg, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestFilterRuleApply(t *testing.T) {
+	r := NewFilterRule().
+		With(TagOut, filter.AtLeast(50)).
+		With(TagRest, filter.AtMost(50))
+	tag, f := r.Apply(TagOut, filter.All)
+	if tag != TagOut || f != filter.AtLeast(50) {
+		t.Errorf("Apply(TagOut) = %v, %v", tag, f)
+	}
+	// Undefined tag keeps its filter.
+	tag, f = r.Apply(TagV1, filter.Make(1, 2))
+	if tag != TagV1 || f != filter.Make(1, 2) {
+		t.Errorf("undefined tag changed: %v %v", tag, f)
+	}
+}
+
+func TestFilterRuleRetagThenFilter(t *testing.T) {
+	r := NewFilterRule().
+		WithRetag(TagV2S2, TagV2).
+		With(TagV2, filter.Make(10, 20))
+	tag, f := r.Apply(TagV2S2, filter.All)
+	if tag != TagV2 {
+		t.Errorf("retag failed: %v", tag)
+	}
+	if f != filter.Make(10, 20) {
+		t.Errorf("filter must follow the NEW tag, got %v", f)
+	}
+}
+
+func TestFilterRuleNilSafe(t *testing.T) {
+	var r *FilterRule
+	tag, f := r.Apply(TagV1, filter.Make(3, 4))
+	if tag != TagV1 || f != filter.Make(3, 4) {
+		t.Error("nil rule must be identity")
+	}
+	if _, ok := r.Lookup(TagV1); ok {
+		t.Error("nil rule lookup must miss")
+	}
+}
+
+func TestFilterRuleCount(t *testing.T) {
+	r := NewFilterRule().With(TagV1, filter.All).With(TagV3, filter.All)
+	if r.Count() != 2 {
+		t.Errorf("Count = %d", r.Count())
+	}
+}
+
+func TestPredConstructors(t *testing.T) {
+	if p := Violating(); p.Kind != PredViolating {
+		t.Error("Violating constructor")
+	}
+	if p := AboveActive(7); p.Kind != PredAboveActive || p.X != 7 {
+		t.Error("AboveActive constructor")
+	}
+	if p := InRange(3, 9); p.Kind != PredInRange || p.X != 3 || p.Y != 9 {
+		t.Error("InRange constructor")
+	}
+	if p := HasTag(TagV2); p.Kind != PredHasTag || p.Tag != TagV2 {
+		t.Error("HasTag constructor")
+	}
+}
+
+func TestMsgBitsWithinModelBound(t *testing.T) {
+	// The model allows c·(log n + log Δ) bits; check a generous c.
+	const c = 24
+	for _, n := range []int{2, 64, 1 << 16} {
+		for _, maxV := range []int64{2, 1 << 20, 1 << 40} {
+			bound := c * (IDBits(n) + ValueBits(maxV))
+			for k := Kind(0); int(k) < NumKinds; k++ {
+				if got := MsgBits(k, n, maxV); got > bound {
+					t.Errorf("kind %v n=%d Δ=%d: %d bits > bound %d", k, n, maxV, got, bound)
+				}
+				if MsgBits(k, n, maxV) <= 0 {
+					t.Errorf("kind %v: non-positive size", k)
+				}
+			}
+		}
+	}
+}
+
+func TestBitsHelpers(t *testing.T) {
+	if IDBits(1) != 1 || IDBits(2) != 1 || IDBits(1024) != 10 {
+		t.Error("IDBits wrong")
+	}
+	if ValueBits(1) != 1 || ValueBits(1<<20) != 21 {
+		t.Errorf("ValueBits wrong: %d", ValueBits(1<<20))
+	}
+}

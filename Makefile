@@ -1,0 +1,30 @@
+GO ?= go
+BENCHTIME ?= 300ms
+BENCH_OUT ?= BENCH_local.json
+
+.PHONY: all build vet test check bench bench-smoke
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+check: build vet test
+
+# bench runs the full root benchmark suite and captures machine-readable
+# JSON (test2json event stream) in $(BENCH_OUT) alongside the human-readable
+# console output — the format future PRs diff with benchstat / jq.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json . > $(BENCH_OUT)
+	@grep -o '"Output":"Benchmark[^"]*"' $(BENCH_OUT) | sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//'
+	@echo "wrote $(BENCH_OUT)"
+
+# bench-smoke is the CI-speed variant: one iteration per benchmark.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem .

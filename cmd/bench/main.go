@@ -1,10 +1,13 @@
-// Command bench regenerates every reproduction experiment (E1–E10): for
+// Command bench regenerates every reproduction experiment (E1–E11): for
 // each paper claim it runs the corresponding workloads and prints the
-// measured tables, optionally writing text and CSV copies.
+// measured tables, optionally writing text and CSV copies. Independent
+// trials and sweep points fan out across -parallel workers; the tables are
+// byte-identical for every worker count.
 //
 // Usage:
 //
 //	bench [-quick] [-only E4] [-seed 1] [-out results/] [-figures=false]
+//	      [-parallel N]
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,9 +28,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "root random seed")
 	out := flag.String("out", "", "directory for .txt/.csv copies of each table")
 	figures := flag.Bool("figures", true, "render ASCII figures after each experiment's tables")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines for independent trials/sweep points (results identical for any value)")
 	flag.Parse()
 
-	opts := exp.Options{Quick: *quick, Seed: *seed}
+	opts := exp.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel}
 	experiments := exp.All()
 	if *only != "" {
 		e, ok := exp.ByID(*only)

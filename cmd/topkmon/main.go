@@ -14,11 +14,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"topkmon/internal/cluster"
 	"topkmon/internal/eps"
+	"topkmon/internal/filter"
 	"topkmon/internal/live"
 	"topkmon/internal/lockstep"
 	"topkmon/internal/metrics"
@@ -39,7 +41,13 @@ func main() {
 	report := flag.Int("report", 200, "status line every this many steps")
 	engine := flag.String("engine", "live", "engine: live (goroutines) | lockstep")
 	scenarioPath := flag.String("scenario", "", "run a JSON scenario file instead of the flag-based setup")
+	parallel := flag.Int("parallel", 0,
+		"cap OS-level parallelism (GOMAXPROCS) for the live engine's node goroutines; 0 keeps the runtime default")
 	flag.Parse()
+
+	if *parallel > 0 {
+		runtime.GOMAXPROCS(*parallel)
+	}
 
 	var (
 		gen stream.Generator
@@ -103,9 +111,12 @@ func main() {
 
 	adaptive, _ := gen.(stream.Adaptive)
 	var invalid int
+	var sc oracle.Scratch
+	var filterBuf []filter.Interval
 	for t := 0; t < *steps; t++ {
 		if adaptive != nil {
-			adaptive.ObserveFilters(eng.Filters(), mon.Output())
+			filterBuf = eng.FiltersInto(filterBuf)
+			adaptive.ObserveFilters(filterBuf, mon.Output())
 		}
 		vals := gen.Next(t)
 		eng.Advance(vals)
@@ -114,7 +125,7 @@ func main() {
 		} else {
 			mon.HandleStep()
 		}
-		truth := oracle.Compute(vals, *k, e)
+		truth := oracle.ComputeInto(&sc, vals, *k, e)
 		if err := truth.ValidateEps(mon.Output()); err != nil {
 			invalid++
 			fmt.Printf("step %6d: INVALID OUTPUT: %v\n", t, err)

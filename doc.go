@@ -27,6 +27,34 @@
 //	cmd/tracegen        trace generation / offline pricing
 //	examples/           five runnable end-to-end scenarios
 //
+// # Performance
+//
+// The simulation hot path is allocation-free in steady state, enforced by
+// the root benchmarks (BenchmarkMonitorStep/*, BenchmarkOracle, and the
+// primitive micro-benchmarks all report 0 allocs/op):
+//
+//   - The oracle exposes ComputeInto with a reusable Scratch (persistent
+//     order/neighborhood/validation buffers and a packed-key index sort);
+//     Compute remains as an allocating convenience wrapper. sim.Run,
+//     offline.SigmaMax, and cmd/topkmon hold one Scratch per run.
+//   - The lockstep engine reuses its sweep buffer and double-buffers
+//     Collect results; see the ownership contract on cluster.Cluster.
+//     Inspector gains ValuesInto/FiltersInto for per-step snapshots.
+//   - Protocols reuse broadcast FilterRules (engines apply rules
+//     synchronously) and their set/output scratch buffers.
+//   - offline.Solve reuses envelope and solver buffers and materialises a
+//     witness only when a segment closes.
+//
+// Benchmarks: `go test -bench=. -benchmem` at the repo root, or
+// `make bench` for machine-readable JSON (BENCH_*.json records the
+// trajectory across PRs; BENCH_PR1.json is the first baseline).
+//
+// The experiment harness fans independent trials and sweep points across
+// exp.Options.Parallelism goroutines (cmd/bench flag -parallel). Every unit
+// of work derives its seed from its own index — never from execution
+// order — so tables are byte-identical for every worker count, asserted by
+// TestParallelRunsAreDeterministic.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and the
 // documented interpretations of underspecified paper details, and
 // EXPERIMENTS.md for paper-vs-measured results. This file's package exists

@@ -1,0 +1,3 @@
+module topkmon
+
+go 1.24

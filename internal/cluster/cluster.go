@@ -29,7 +29,8 @@ type Cluster interface {
 	Rand() *rngx.Source
 
 	// BroadcastRule sends one filter rule to all nodes (cost 1); each node
-	// retags itself and derives its filter from its tag.
+	// retags itself and derives its filter from its tag. The rule is fully
+	// applied when the call returns, so callers may mutate and reuse it.
 	BroadcastRule(rule *wire.FilterRule)
 	// SetFilter assigns one node's filter (cost 1).
 	SetFilter(id int, iv filter.Interval)
@@ -39,14 +40,17 @@ type Cluster interface {
 	// Probe requests and receives one node's value (cost 2).
 	Probe(id int) wire.Report
 	// Collect broadcasts a predicate; every matching node reports
-	// (cost 1 + number of matches).
+	// (cost 1 + number of matches). The returned slice is owned by the
+	// engine: it stays valid across at most one further Collect and is
+	// recycled after that — protocols holding a result longer must copy.
 	Collect(p wire.Pred) []wire.Report
 
 	// Sweep runs the EXISTENCE protocol of Lemma 3.1 for the predicate:
 	// zero messages when no node matches; otherwise the senders of the
 	// terminating round (each cost 1) plus one halt broadcast. The sweep
 	// itself needs no kickoff broadcast — it is part of the per-step
-	// schedule all nodes know.
+	// schedule all nodes know. The returned slice is owned by the engine
+	// and is recycled by the next Sweep or DetectViolation.
 	Sweep(p wire.Pred) []wire.Report
 
 	// DetectViolation runs a violation sweep and returns one violator
@@ -69,8 +73,15 @@ type Cluster interface {
 type Inspector interface {
 	// Values returns a copy of all current node values.
 	Values() []int64
+	// ValuesInto appends all current node values to dst[:0] and returns
+	// it, reusing dst's capacity — the allocation-free form of Values for
+	// per-step loops.
+	ValuesInto(dst []int64) []int64
 	// Filters returns a copy of all current node filters.
 	Filters() []filter.Interval
+	// FiltersInto appends all current node filters to dst[:0] and returns
+	// it, reusing dst's capacity.
+	FiltersInto(dst []filter.Interval) []filter.Interval
 	// Tags returns a copy of all current node tags.
 	Tags() []wire.Tag
 	// Advance installs the next observations (start of a time step).

@@ -46,7 +46,9 @@ func E3ExactCompetitive() Experiment {
 			tb := metrics.NewTable("E3: exact monitors vs Δ (n=16, k=4, adaptive climber)",
 				"log2(Δ)", "exact-mid msgs", "epochs", "msgs/epoch",
 				"mid-naive msgs", "OPT breaks", "exact-mid ratio")
-			for _, delta := range deltas {
+			type e3row struct{ em, mn sim.Report }
+			rows := parMap(o, len(deltas), func(i int) e3row {
+				delta := deltas[i]
 				em := runOrPanic(sim.Config{
 					K: k, Steps: steps, Seed: o.Seed + 3,
 					Gen:        climberGen(k, rest, delta),
@@ -60,6 +62,10 @@ func E3ExactCompetitive() Experiment {
 					NewMonitor: mkMonitor("mid-naive", k, eps.Zero),
 					Validate:   sim.ValidateExact,
 				})
+				return e3row{em, mn}
+			})
+			for i, delta := range deltas {
+				em, mn := rows[i].em, rows[i].mn
 				tb.AddRow(log2i(delta), em.Messages.Total(), em.Epochs,
 					perEpoch(em.Messages.Total(), em.Epochs),
 					mn.Messages.Total(),
@@ -89,7 +95,9 @@ func E4TopKProtocol() Experiment {
 			}
 			t1 := metrics.NewTable("E4a: msgs/epoch vs Δ (n=16, k=4, ε=1/8, adaptive descender)",
 				"log2(Δ)", "exact-mid", "topk-protocol", "topk epochs")
-			for _, delta := range deltas {
+			type e4row struct{ em, tk sim.Report }
+			rows := parMap(o, len(deltas), func(i int) e4row {
+				delta := deltas[i]
 				em := runOrPanic(sim.Config{
 					K: k, Steps: steps, Seed: o.Seed + 5,
 					Gen:        stream.NewDescender(k, rest, delta),
@@ -102,6 +110,10 @@ func E4TopKProtocol() Experiment {
 					NewMonitor: mkMonitor("topk", k, e),
 					Validate:   sim.ValidateEps,
 				})
+				return e4row{em, tk}
+			})
+			for i, delta := range deltas {
+				em, tk := rows[i].em, rows[i].tk
 				t1.AddRow(log2i(delta),
 					perEpoch(em.Messages.Total(), em.Epochs),
 					perEpoch(tk.Messages.Total(), tk.Epochs),
@@ -117,13 +129,17 @@ func E4TopKProtocol() Experiment {
 			}
 			t2 := metrics.NewTable("E4b: msgs/epoch vs ε (n=16, k=4, Δ=2^22, adaptive climber)",
 				"eps", "1/eps", "msgs", "epochs", "msgs/epoch")
-			for _, ee := range epsilons {
-				tk := runOrPanic(sim.Config{
+			epsRows := parMap(o, len(epsilons), func(i int) sim.Report {
+				ee := epsilons[i]
+				return runOrPanic(sim.Config{
 					K: k, Eps: ee, Steps: steps, Seed: o.Seed + 6,
 					Gen:        climberGen(k, rest, 1<<22),
 					NewMonitor: mkMonitor("topk", k, ee),
 					Validate:   sim.ValidateEps,
 				})
+			})
+			for i, ee := range epsilons {
+				tk := epsRows[i]
 				t2.AddRow(ee.String(), float64(ee.Den)/float64(ee.Num),
 					tk.Messages.Total(), tk.Epochs,
 					perEpoch(tk.Messages.Total(), tk.Epochs))
@@ -151,7 +167,9 @@ func E9PhaseAblation() Experiment {
 			}
 			tb := metrics.NewTable("E9: TOP-K-PROTOCOL msgs/epoch, phases on vs off (adaptive descender)",
 				"log2(Δ)", "full (A1+A2+A3)", "A3-only (ablated)", "full epochs", "ablated epochs")
-			for _, delta := range deltas {
+			type e9row struct{ full, ablated sim.Report }
+			rows := parMap(o, len(deltas), func(i int) e9row {
+				delta := deltas[i]
 				full := runOrPanic(sim.Config{
 					K: k, Eps: e, Steps: steps, Seed: o.Seed + 8,
 					Gen:        stream.NewDescender(k, rest, delta),
@@ -169,6 +187,10 @@ func E9PhaseAblation() Experiment {
 					},
 					Validate: sim.ValidateEps,
 				})
+				return e9row{full, ablated}
+			})
+			for i, delta := range deltas {
+				full, ablated := rows[i].full, rows[i].ablated
 				tb.AddRow(log2i(delta),
 					perEpoch(full.Messages.Total(), full.Epochs),
 					perEpoch(ablated.Messages.Total(), ablated.Epochs),

@@ -29,21 +29,27 @@ func E5LowerBound() Experiment {
 			}
 			tb := metrics.NewTable("E5: Thm 5.1 instance (k=2, ε=1/4, 4 phases)",
 				"sigma", "sigma/k", "monitor", "online msgs", "OPT realistic", "ratio", "msgs/phase")
-			for _, sigma := range sigmas {
+			monitors := []string{"approx", "half-eps"}
+			jobs := len(sigmas) * len(monitors)
+			reps := parMap(o, jobs, func(i int) sim.Report {
+				sigma := sigmas[i/len(monitors)]
+				mon := monitors[i%len(monitors)]
 				steps := phases * (sigma - k + 1)
-				for _, mon := range []string{"approx", "half-eps"} {
-					rep := runOrPanic(sim.Config{
-						K: k, Eps: e, Steps: steps, Seed: o.Seed + 13,
-						Gen:        stream.NewLowerBound(sigma, 4, k, e, 1<<24),
-						NewMonitor: mkMonitor(mon, k, e),
-						Validate:   sim.ValidateEps,
-						ComputeOPT: true, OPTEps: e,
-					})
-					ratio := float64(rep.Messages.Total()) / float64(max64(rep.OPTRealistic, 1))
-					tb.AddRow(sigma, float64(sigma)/k, mon,
-						rep.Messages.Total(), rep.OPTRealistic, ratio,
-						float64(rep.Messages.Total())/float64(phases))
-				}
+				return runOrPanic(sim.Config{
+					K: k, Eps: e, Steps: steps, Seed: o.Seed + 13,
+					Gen:        stream.NewLowerBound(sigma, 4, k, e, 1<<24),
+					NewMonitor: mkMonitor(mon, k, e),
+					Validate:   sim.ValidateEps,
+					ComputeOPT: true, OPTEps: e,
+				})
+			})
+			for i, rep := range reps {
+				sigma := sigmas[i/len(monitors)]
+				mon := monitors[i%len(monitors)]
+				ratio := float64(rep.Messages.Total()) / float64(max64(rep.OPTRealistic, 1))
+				tb.AddRow(sigma, float64(sigma)/k, mon,
+					rep.Messages.Total(), rep.OPTRealistic, ratio,
+					float64(rep.Messages.Total())/float64(phases))
 			}
 			return []*metrics.Table{tb}
 		},
@@ -77,7 +83,12 @@ func E6Dense() Experiment {
 			}
 			t1 := metrics.NewTable("E6a: approx controller vs σ (k=4, ε=1/4, v_k≈4096)",
 				"dense nodes", "sigma(max)", "msgs", "epochs", "dense epochs", "sub calls", "msgs/step")
-			for _, dc := range denseCounts {
+			type e6row struct {
+				rep                   sim.Report
+				denseEpochs, subCalls int64
+			}
+			rows := parMap(o, len(denseCounts), func(i int) e6row {
+				dc := denseCounts[i]
 				var ap *protocol.Approx
 				rep := runOrPanic(sim.Config{
 					K: k, Eps: e, Steps: steps, Seed: o.Seed + 17,
@@ -88,9 +99,13 @@ func E6Dense() Experiment {
 					},
 					Validate: sim.ValidateEps,
 				})
-				t1.AddRow(dc, rep.SigmaMax, rep.Messages.Total(), rep.Epochs,
-					ap.DenseEpochs(), ap.SubCalls(),
-					float64(rep.Messages.Total())/float64(steps))
+				return e6row{rep, ap.DenseEpochs(), ap.SubCalls()}
+			})
+			for i, dc := range denseCounts {
+				r := rows[i]
+				t1.AddRow(dc, r.rep.SigmaMax, r.rep.Messages.Total(), r.rep.Epochs,
+					r.denseEpochs, r.subCalls,
+					float64(r.rep.Messages.Total())/float64(steps))
 			}
 
 			bases := []int64{1 << 8, 1 << 12, 1 << 16, 1 << 20}
@@ -99,13 +114,16 @@ func E6Dense() Experiment {
 			}
 			t2 := metrics.NewTable("E6b: approx controller vs v_k (k=4, ε=1/4, 16 dense nodes)",
 				"v_k", "log2(eps*v_k)", "msgs", "epochs", "msgs/epoch")
-			for _, base := range bases {
-				rep := runOrPanic(sim.Config{
+			baseRows := parMap(o, len(bases), func(i int) sim.Report {
+				return runOrPanic(sim.Config{
 					K: k, Eps: e, Steps: steps, Seed: o.Seed + 19,
-					Gen:        denseWorkload(k, 16, 4, base, e, o.Seed+300),
+					Gen:        denseWorkload(k, 16, 4, bases[i], e, o.Seed+300),
 					NewMonitor: mkMonitor("approx", k, e),
 					Validate:   sim.ValidateEps,
 				})
+			})
+			for i, base := range bases {
+				rep := baseRows[i]
 				t2.AddRow(base, log2i(base/4), rep.Messages.Total(), rep.Epochs,
 					perEpoch(rep.Messages.Total(), rep.Epochs))
 			}
@@ -134,7 +152,9 @@ func E7HalfEps() Experiment {
 			tb := metrics.NewTable("E7: approx vs half-eps across σ (k=4, ε=1/4)",
 				"dense nodes", "sigma(max)", "approx msgs/epoch", "half-eps msgs/epoch",
 				"approx msgs", "half-eps msgs", "OPT(ε/2) breaks", "half-eps ratio")
-			for _, dc := range denseCounts {
+			type e7row struct{ ap, he sim.Report }
+			rows := parMap(o, len(denseCounts), func(i int) e7row {
+				dc := denseCounts[i]
 				gen1 := denseWorkload(k, dc, 4, 4096, e, o.Seed+400+uint64(dc))
 				gen2 := denseWorkload(k, dc, 4, 4096, e, o.Seed+400+uint64(dc))
 				apRep := runOrPanic(sim.Config{
@@ -150,6 +170,10 @@ func E7HalfEps() Experiment {
 					Validate:   sim.ValidateEps,
 					ComputeOPT: true, OPTEps: e.Half(),
 				})
+				return e7row{apRep, heRep}
+			})
+			for i, dc := range denseCounts {
+				apRep, heRep := rows[i].ap, rows[i].he
 				tb.AddRow(dc, heRep.SigmaMax,
 					perEpoch(apRep.Messages.Total(), apRep.Epochs),
 					perEpoch(heRep.Messages.Total(), heRep.Epochs),
@@ -181,18 +205,40 @@ func E8EpsilonSavings() Experiment {
 			mkGen := func(seed uint64) stream.Generator {
 				return stream.NewOscillator(k-1, dense, low, base, amp, base*64, base/64, seed)
 			}
-			naive := runOrPanic(sim.Config{
-				K: k, Steps: steps, Seed: o.Seed + 29,
-				Gen:        mkGen(o.Seed + 500),
-				NewMonitor: mkMonitor("naive", k, eps.Zero),
-				Validate:   sim.ValidateEps, // ε=0 → exact check via eps-validate with Zero
+			epsList := []eps.Eps{
+				eps.MustNew(1, 64), eps.MustNew(1, 16), eps.MustNew(1, 8),
+				eps.MustNew(1, 4), eps.MustNew(1, 2),
+			}
+			// Jobs: 0 = naive baseline, 1 = exact-mid, 2+i = approx(ε_i);
+			// the naive total is every row's denominator, so rows are
+			// assembled after the barrier.
+			reps := parMap(o, 2+len(epsList), func(i int) sim.Report {
+				switch i {
+				case 0:
+					return runOrPanic(sim.Config{
+						K: k, Steps: steps, Seed: o.Seed + 29,
+						Gen:        mkGen(o.Seed + 500),
+						NewMonitor: mkMonitor("naive", k, eps.Zero),
+						Validate:   sim.ValidateEps, // ε=0 → exact check via eps-validate with Zero
+					})
+				case 1:
+					return runOrPanic(sim.Config{
+						K: k, Steps: steps, Seed: o.Seed + 29,
+						Gen:        stream.Distinct{Inner: mkGen(o.Seed + 500)},
+						NewMonitor: mkMonitor("exact-mid", k, eps.Zero),
+						Validate:   sim.ValidateExact,
+					})
+				default:
+					ee := epsList[i-2]
+					return runOrPanic(sim.Config{
+						K: k, Eps: ee, Steps: steps, Seed: o.Seed + 29,
+						Gen:        mkGen(o.Seed + 500),
+						NewMonitor: mkMonitor("approx", k, ee),
+						Validate:   sim.ValidateEps,
+					})
+				}
 			})
-			exact := runOrPanic(sim.Config{
-				K: k, Steps: steps, Seed: o.Seed + 29,
-				Gen:        stream.Distinct{Inner: mkGen(o.Seed + 500)},
-				NewMonitor: mkMonitor("exact-mid", k, eps.Zero),
-				Validate:   sim.ValidateExact,
-			})
+			naive, exact := reps[0], reps[1]
 			tb := metrics.NewTable("E8: messages over 1500 noisy steps (amp ≈ 3% of v_k)",
 				"monitor", "eps", "msgs", "msgs/step", "vs naive")
 			tb.AddRow("naive", "0", naive.Messages.Total(),
@@ -200,16 +246,8 @@ func E8EpsilonSavings() Experiment {
 			tb.AddRow("exact-mid", "0", exact.Messages.Total(),
 				float64(exact.Messages.Total())/float64(steps),
 				ratio(naive.Messages.Total(), exact.Messages.Total()))
-			for _, ee := range []eps.Eps{
-				eps.MustNew(1, 64), eps.MustNew(1, 16), eps.MustNew(1, 8),
-				eps.MustNew(1, 4), eps.MustNew(1, 2),
-			} {
-				rep := runOrPanic(sim.Config{
-					K: k, Eps: ee, Steps: steps, Seed: o.Seed + 29,
-					Gen:        mkGen(o.Seed + 500),
-					NewMonitor: mkMonitor("approx", k, ee),
-					Validate:   sim.ValidateEps,
-				})
+			for i, ee := range epsList {
+				rep := reps[2+i]
 				tb.AddRow("approx", ee.String(), rep.Messages.Total(),
 					float64(rep.Messages.Total())/float64(steps),
 					ratio(naive.Messages.Total(), rep.Messages.Total()))

@@ -1,15 +1,22 @@
-// Package exp defines the reproduction experiments E1–E10, each mapping a
+// Package exp defines the reproduction experiments E1–E11, each mapping a
 // theorem or claim of the paper to a measured table (the paper itself is
 // purely theoretical, so the "tables and figures" reproduced here are the
 // bound shapes its theorems assert; see DESIGN.md §5 and EXPERIMENTS.md).
 //
 // Experiments are deterministic given Options.Seed and scale down under
 // Options.Quick so they double as benchmark bodies in bench_test.go.
+// Independent trials and sweep points fan out across Options.Parallelism
+// goroutines; every unit of work derives its randomness from its own index,
+// never from execution order, so the tables are byte-identical for every
+// worker count.
 package exp
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"topkmon/internal/cluster"
 	"topkmon/internal/eps"
@@ -24,6 +31,67 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed uint64
+	// Parallelism caps the worker goroutines running independent trials
+	// and sweep points; 0 means runtime.GOMAXPROCS(0). Results are
+	// bit-identical for every value.
+	Parallelism int
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parMap computes fn(0..n-1) on up to o.workers() goroutines and returns the
+// results in index order — the experiment harness's worker pool. fn must
+// derive all randomness from its index (seeds keyed by the swept parameter
+// or trial number), which makes the fan-out invisible in the output. With
+// one worker (or n == 1) it degrades to the plain sequential loop.
+func parMap[T any](o Options, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	w := o.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	// A panicking unit (runOrPanic's "fail loudly") must reach the caller
+	// as it does in the sequential loop, not kill the process from a
+	// worker goroutine.
+	var panicked any
+	var panicOnce sync.Once
+	var wg sync.WaitGroup
+	for range w {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return out
 }
 
 // Experiment binds a paper claim to a measurement procedure.

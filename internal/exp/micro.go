@@ -33,7 +33,7 @@ func E1Existence() Experiment {
 			for _, n := range ns {
 				row := []any{n}
 				for _, b := range []int{1, int(math.Sqrt(float64(n))), n / 2, n} {
-					row = append(row, existenceMean(n, b, trials, o.Seed))
+					row = append(row, existenceMean(o, n, b, trials))
 				}
 				tb.AddRow(row...)
 			}
@@ -42,10 +42,11 @@ func E1Existence() Experiment {
 	}
 }
 
-func existenceMean(n, b, trials int, seed uint64) float64 {
-	var total int64
-	for trial := 0; trial < trials; trial++ {
-		e := lockstep.New(n, seed+uint64(trial)*977+uint64(n))
+func existenceMean(o Options, n, b, trials int) float64 {
+	// Each trial is an independent engine seeded by its own index, so the
+	// fan-out cannot change the outcome.
+	costs := parMap(o, trials, func(trial int) int64 {
+		e := lockstep.New(n, o.Seed+uint64(trial)*977+uint64(n))
 		vals := make([]int64, n)
 		e.Advance(vals)
 		// b nodes hold a "1": realised as a violating filter.
@@ -56,7 +57,11 @@ func existenceMean(n, b, trials int, seed uint64) float64 {
 		if senders := e.Sweep(wire.Violating()); len(senders) == 0 {
 			panic("exp: EXISTENCE missed b ≥ 1 ones")
 		}
-		total += e.Counters().Snapshot().Sub(before).Total()
+		return e.Counters().Snapshot().Sub(before).Total()
+	})
+	var total int64
+	for _, c := range costs {
+		total += c
 	}
 	return float64(total) / float64(trials)
 }
@@ -78,8 +83,7 @@ func E2MaxFind() Experiment {
 			tb := metrics.NewTable("E2: FindMax mean messages vs n",
 				"n", "log2(n)", "mean msgs", "msgs/log2(n)")
 			for _, n := range ns {
-				var total int64
-				for trial := 0; trial < trials; trial++ {
+				costs := parMap(o, trials, func(trial int) int64 {
 					e := lockstep.New(n, o.Seed+uint64(trial)*31+uint64(n))
 					vals := make([]int64, n)
 					r := rngx.New(uint64(trial)*7 + uint64(n))
@@ -91,7 +95,11 @@ func E2MaxFind() Experiment {
 					if _, ok := protocol.FindMax(e, true); !ok {
 						panic("exp: FindMax failed")
 					}
-					total += e.Counters().Snapshot().Sub(before).Total()
+					return e.Counters().Snapshot().Sub(before).Total()
+				})
+				var total int64
+				for _, c := range costs {
+					total += c
 				}
 				mean := float64(total) / float64(trials)
 				lg := math.Log2(float64(n))
@@ -131,12 +139,15 @@ func E10Compliance() Experiment {
 			tb := metrics.NewTable("E10: message-size bound and per-sweep rounds",
 				"config", "n", "log2(Δ)", "max msg bits", "bit bound c·log(nΔ)",
 				"rounds/sweep (γ+1)", "max rounds/step (observed)")
-			for _, p := range probes {
-				rep := complianceRun(p.n, p.maxV, p.steps, o.Seed)
+			reps := parMap(o, len(probes), func(i int) compliance {
+				p := probes[i]
+				return complianceRun(p.n, p.maxV, p.steps, o.Seed)
+			})
+			for i, p := range probes {
 				logND := math.Log2(float64(p.n)) + math.Log2(float64(p.maxV))
 				tb.AddRow(p.name, p.n, math.Log2(float64(p.maxV)),
-					rep.bits, fmt.Sprintf("%.0f", 24*logND),
-					nodecore.ExistenceRounds(p.n)+1, rep.rounds)
+					reps[i].bits, fmt.Sprintf("%.0f", 24*logND),
+					nodecore.ExistenceRounds(p.n)+1, reps[i].rounds)
 			}
 			return []*metrics.Table{tb}
 		},

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderAll runs an experiment and renders every table to one string.
+func renderAll(t *testing.T, e Experiment, o Options) string {
+	t.Helper()
+	tables := e.Run(o)
+	if len(tables) == 0 {
+		t.Fatalf("%s produced no tables", e.ID)
+	}
+	var b strings.Builder
+	for _, tb := range tables {
+		b.WriteString(tb.String())
+		b.WriteString(tb.CSV())
+	}
+	return b.String()
+}
+
+// TestParallelRunsAreDeterministic asserts the worker-pool fan-out is
+// invisible in the output: for every experiment, Parallelism 4 produces
+// byte-identical tables to Parallelism 1 under the same seed.
+func TestParallelRunsAreDeterministic(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			seq := renderAll(t, e, Options{Quick: true, Seed: 3, Parallelism: 1})
+			par := renderAll(t, e, Options{Quick: true, Seed: 3, Parallelism: 4})
+			if seq != par {
+				t.Fatalf("%s: parallel tables differ from sequential\n--- P=1 ---\n%s\n--- P=4 ---\n%s",
+					e.ID, seq, par)
+			}
+		})
+	}
+}
+
+// TestParMapOrderAndCoverage pins the worker-pool contract: every index is
+// computed exactly once and results land in index order.
+func TestParMapOrderAndCoverage(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		o := Options{Parallelism: workers}
+		got := parMap(o, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: index %d got %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+	if out := parMap(Options{Parallelism: 8}, 0, func(i int) int { return i }); len(out) != 0 {
+		t.Fatalf("empty input produced %d results", len(out))
+	}
+}

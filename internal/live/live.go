@@ -226,22 +226,31 @@ func (c *Cluster) snapshot() []response {
 
 // Values implements cluster.Inspector.
 func (c *Cluster) Values() []int64 {
-	snap := c.snapshot()
-	out := make([]int64, c.n)
-	for i, r := range snap {
-		out[i] = r.value
+	return c.ValuesInto(make([]int64, 0, c.n))
+}
+
+// ValuesInto implements cluster.Inspector. The snapshot round still
+// allocates (channel scaffolding), but dst's capacity is reused.
+func (c *Cluster) ValuesInto(dst []int64) []int64 {
+	dst = dst[:0]
+	for _, r := range c.snapshot() {
+		dst = append(dst, r.value)
 	}
-	return out
+	return dst
 }
 
 // Filters implements cluster.Inspector.
 func (c *Cluster) Filters() []filter.Interval {
-	snap := c.snapshot()
-	out := make([]filter.Interval, c.n)
-	for i, r := range snap {
-		out[i] = r.filt
+	return c.FiltersInto(make([]filter.Interval, 0, c.n))
+}
+
+// FiltersInto implements cluster.Inspector.
+func (c *Cluster) FiltersInto(dst []filter.Interval) []filter.Interval {
+	dst = dst[:0]
+	for _, r := range c.snapshot() {
+		dst = append(dst, r.filt)
 	}
-	return out
+	return dst
 }
 
 // Tags implements cluster.Inspector.

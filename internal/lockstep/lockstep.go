@@ -24,6 +24,14 @@ type Engine struct {
 	rng   *rngx.Source
 	maxV  int64 // running Δ for message-size accounting
 
+	// sweepBuf backs the slices returned by Sweep/directSweep; collectBufs
+	// double-buffer Collect so protocols holding one Collect result across
+	// a second Collect (DENSEPROTOCOL, the Cor 5.9 monitor) stay correct.
+	// See the ownership contract on cluster.Cluster.
+	sweepBuf    []wire.Report
+	collectBufs [2][]wire.Report
+	collectIdx  int
+
 	// DirectReports disables the EXISTENCE protocol: every matching node
 	// reports in a single round, each paying one message — the naive
 	// reporting scheme the paper's Section 3 improves on. Used by the
@@ -81,20 +89,32 @@ func (e *Engine) EndStep() { e.ctr.EndStep() }
 
 // Values implements cluster.Inspector.
 func (e *Engine) Values() []int64 {
-	vs := make([]int64, len(e.nodes))
-	for i, nd := range e.nodes {
-		vs[i] = nd.Value
+	return e.ValuesInto(make([]int64, 0, len(e.nodes)))
+}
+
+// ValuesInto implements cluster.Inspector: it appends all current node
+// values to dst[:0] and returns it, growing dst only when too small.
+func (e *Engine) ValuesInto(dst []int64) []int64 {
+	dst = dst[:0]
+	for _, nd := range e.nodes {
+		dst = append(dst, nd.Value)
 	}
-	return vs
+	return dst
 }
 
 // Filters implements cluster.Inspector.
 func (e *Engine) Filters() []filter.Interval {
-	fs := make([]filter.Interval, len(e.nodes))
-	for i, nd := range e.nodes {
-		fs[i] = nd.Filter
+	return e.FiltersInto(make([]filter.Interval, 0, len(e.nodes)))
+}
+
+// FiltersInto implements cluster.Inspector: it appends all current node
+// filters to dst[:0] and returns it, growing dst only when too small.
+func (e *Engine) FiltersInto(dst []filter.Interval) []filter.Interval {
+	dst = dst[:0]
+	for _, nd := range e.nodes {
+		dst = append(dst, nd.Filter)
 	}
-	return fs
+	return dst
 }
 
 // Tags implements cluster.Inspector.
@@ -146,17 +166,21 @@ func (e *Engine) Probe(id int) wire.Report {
 	return wire.Report{ID: id, Value: nd.Value, Dir: nd.Violation()}
 }
 
-// Collect implements cluster.Cluster.
+// Collect implements cluster.Cluster. Results alternate between two
+// engine-owned buffers, honouring the Cluster contract that a Collect result
+// survives exactly one further Collect.
 func (e *Engine) Collect(p wire.Pred) []wire.Report {
 	e.count(metrics.Broadcast, wire.KindCollect)
 	e.ctr.Rounds(1)
-	var out []wire.Report
+	out := e.collectBufs[e.collectIdx][:0]
 	for _, nd := range e.nodes {
 		if nd.Match(p) {
 			e.count(metrics.NodeToServer, wire.KindCollectReply)
 			out = append(out, wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()})
 		}
 	}
+	e.collectBufs[e.collectIdx] = out
+	e.collectIdx ^= 1
 	return out
 }
 
@@ -171,13 +195,14 @@ func (e *Engine) Sweep(p wire.Pred) []wire.Report {
 	gamma := nodecore.ExistenceRounds(len(e.nodes))
 	for r := 0; r <= gamma; r++ {
 		e.ctr.Rounds(1)
-		var senders []wire.Report
+		senders := e.sweepBuf[:0]
 		for _, nd := range e.nodes {
 			if nd.Match(p) && nd.ExistenceSend(r, len(e.nodes)) {
 				e.count(metrics.NodeToServer, wire.KindExistenceReport)
 				senders = append(senders, wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()})
 			}
 		}
+		e.sweepBuf = senders[:0]
 		if len(senders) > 0 {
 			e.count(metrics.Broadcast, wire.KindHalt)
 			return senders
@@ -191,12 +216,16 @@ func (e *Engine) Sweep(p wire.Pred) []wire.Report {
 // sweep — the baseline against which Lemma 3.1's O(1) expectation wins.
 func (e *Engine) directSweep(p wire.Pred) []wire.Report {
 	e.ctr.Rounds(1)
-	var senders []wire.Report
+	senders := e.sweepBuf[:0]
 	for _, nd := range e.nodes {
 		if nd.Match(p) {
 			e.count(metrics.NodeToServer, wire.KindExistenceReport)
 			senders = append(senders, wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()})
 		}
+	}
+	e.sweepBuf = senders[:0]
+	if len(senders) == 0 {
+		return nil
 	}
 	return senders
 }

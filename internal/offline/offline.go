@@ -17,10 +17,12 @@ package offline
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"topkmon/internal/eps"
 	"topkmon/internal/filter"
+	"topkmon/internal/oracle"
 )
 
 // Instance is a recorded run: Values[t][i] is node i's value at step t.
@@ -63,6 +65,18 @@ func newEnvelope(row []int64) *envelope {
 	return e
 }
 
+// reset restarts the envelope at row, reusing its buffers.
+func (e *envelope) reset(row []int64) {
+	e.min = append(e.min[:0], row...)
+	e.max = append(e.max[:0], row...)
+}
+
+// copyFrom makes e an independent copy of o, reusing e's buffers.
+func (e *envelope) copyFrom(o *envelope) {
+	e.min = append(e.min[:0], o.min...)
+	e.max = append(e.max[:0], o.max...)
+}
+
 func (e *envelope) extend(row []int64) {
 	for i, v := range row {
 		if v < e.min[i] {
@@ -74,6 +88,16 @@ func (e *envelope) extend(row []int64) {
 	}
 }
 
+// solver holds the reusable working memory of the feasibility check; one
+// solver reused across all steps of a Solve keeps the O(T) feasibility
+// checks allocation-free in steady state.
+type solver struct {
+	byMax    []int
+	pmin     []int64
+	minsDesc []int64
+	eligible []int
+}
+
 // Feasible reports whether some k-set S satisfies
 // min_{i∈S} MIN_i ≥ (1-ε)·max_{j∉S} MAX_j for the given envelopes.
 //
@@ -82,12 +106,98 @@ func (e *envelope) extend(row []int64) {
 // node with (1-ε)·MAX above θ; those forced nodes form a prefix of the
 // MAX-descending order. The check runs in O(n log n).
 func Feasible(minEnv, maxEnv []int64, k int, e eps.Eps) bool {
-	_, ok := Witness(minEnv, maxEnv, k, e)
-	return ok
+	var s solver
+	return s.feasible(minEnv, maxEnv, k, e)
 }
 
 // Witness returns a witnessing k-set S (sorted ids) if one exists.
 func Witness(minEnv, maxEnv []int64, k int, e eps.Eps) ([]int, bool) {
+	var s solver
+	return s.witness(minEnv, maxEnv, k, e)
+}
+
+// prepare fills the solver's order and threshold buffers for the envelopes.
+func (s *solver) prepare(minEnv, maxEnv []int64) {
+	n := len(minEnv)
+	if cap(s.byMax) < n {
+		s.byMax = make([]int, n)
+		s.pmin = make([]int64, n+1)
+		s.minsDesc = make([]int64, n)
+	}
+	s.byMax, s.pmin, s.minsDesc = s.byMax[:n], s.pmin[:n+1], s.minsDesc[:n]
+
+	// byMax: ids ordered by MAX descending (canonical id tie-break);
+	// pmin[j] = min MIN among the first j of them.
+	for i := range s.byMax {
+		s.byMax[i] = i
+	}
+	oracle.SortIDs(s.byMax, maxEnv)
+	s.pmin[0] = int64(1) << 62
+	for j, id := range s.byMax {
+		s.pmin[j+1] = s.pmin[j]
+		if minEnv[id] < s.pmin[j+1] {
+			s.pmin[j+1] = minEnv[id]
+		}
+	}
+
+	// minsDesc: candidate thresholds, descending, so the first hit
+	// maximises slack.
+	copy(s.minsDesc, minEnv)
+	slices.SortFunc(s.minsDesc, func(a, b int64) int {
+		switch {
+		case a > b:
+			return -1
+		case a < b:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// findTheta locates the largest feasible threshold, returning its forced
+// prefix length. prepare must have run for the same envelopes.
+func (s *solver) findTheta(minEnv, maxEnv []int64, k int, e eps.Eps) (theta int64, forced int, ok bool) {
+	n := len(minEnv)
+	for i := 0; i < n; {
+		theta = s.minsDesc[i]
+		// Skip the run of equal thresholds; with minsDesc sorted
+		// descending, the index past the run is cntMin = |{MIN ≥ θ}|.
+		j := i + 1
+		for j < n && s.minsDesc[j] == theta {
+			j++
+		}
+		cntMin := j
+		i = j
+		if cntMin < k {
+			continue
+		}
+		// forced = |{(1-ε)·MAX > θ}| — a prefix of byMax.
+		forced = sort.Search(n, func(j int) bool {
+			return !gtScaled(maxEnv[s.byMax[j]], theta, e)
+		})
+		if forced > k {
+			continue
+		}
+		// Every forced node needs MIN ≥ θ.
+		if s.pmin[forced] < theta {
+			continue
+		}
+		return theta, forced, true
+	}
+	return 0, 0, false
+}
+
+func (s *solver) feasible(minEnv, maxEnv []int64, k int, e eps.Eps) bool {
+	if k == len(minEnv) {
+		return true
+	}
+	s.prepare(minEnv, maxEnv)
+	_, _, ok := s.findTheta(minEnv, maxEnv, k, e)
+	return ok
+}
+
+func (s *solver) witness(minEnv, maxEnv []int64, k int, e eps.Eps) ([]int, bool) {
 	n := len(minEnv)
 	if k == n {
 		out := make([]int, n)
@@ -96,53 +206,12 @@ func Witness(minEnv, maxEnv []int64, k int, e eps.Eps) ([]int, bool) {
 		}
 		return out, true
 	}
-
-	// byMax: ids ordered by MAX descending; pminPrefix[j] = min MIN among
-	// the first j of them.
-	byMax := make([]int, n)
-	for i := range byMax {
-		byMax[i] = i
+	s.prepare(minEnv, maxEnv)
+	theta, forced, ok := s.findTheta(minEnv, maxEnv, k, e)
+	if !ok {
+		return nil, false
 	}
-	sort.Slice(byMax, func(a, b int) bool { return maxEnv[byMax[a]] > maxEnv[byMax[b]] })
-	pminPrefix := make([]int64, n+1)
-	pminPrefix[0] = int64(1) << 62
-	for j, id := range byMax {
-		pminPrefix[j+1] = pminPrefix[j]
-		if minEnv[id] < pminPrefix[j+1] {
-			pminPrefix[j+1] = minEnv[id]
-		}
-	}
-
-	// minsDesc: distinct candidate thresholds, descending, so the first
-	// hit maximises slack.
-	minsDesc := append([]int64(nil), minEnv...)
-	sort.Slice(minsDesc, func(a, b int) bool { return minsDesc[a] > minsDesc[b] })
-
-	for _, theta := range minsDesc {
-		// cntMin = |{MIN ≥ θ}|.
-		cntMin := 0
-		for _, m := range minEnv {
-			if m >= theta {
-				cntMin++
-			}
-		}
-		if cntMin < k {
-			continue
-		}
-		// forced = |{(1-ε)·MAX > θ}| — a prefix of byMax.
-		forced := sort.Search(n, func(j int) bool {
-			return !gtScaled(maxEnv[byMax[j]], theta, e)
-		})
-		if forced > k {
-			continue
-		}
-		// Every forced node needs MIN ≥ θ.
-		if pminPrefix[forced] < theta {
-			continue
-		}
-		return buildWitness(minEnv, maxEnv, byMax, forced, theta, k), true
-	}
-	return nil, false
+	return s.buildWitness(minEnv, forced, theta, k), true
 }
 
 // gtScaled reports (1-ε)·max > θ.
@@ -151,40 +220,35 @@ func gtScaled(max, theta int64, e eps.Eps) bool {
 }
 
 // buildWitness assembles S: the forced prefix plus the highest-MIN fillers
-// among the remaining θ-eligible nodes.
-func buildWitness(minEnv, maxEnv []int64, byMax []int, forced int, theta int64, k int) []int {
-	inS := make(map[int]bool, k)
-	for _, id := range byMax[:forced] {
-		inS[id] = true
+// among the remaining θ-eligible nodes. The returned slice is freshly
+// allocated — witnesses are retained in segments.
+func (s *solver) buildWitness(minEnv []int64, forced int, theta int64, k int) []int {
+	out := make([]int, 0, k)
+	out = append(out, s.byMax[:forced]...)
+	inS := func(id int) bool {
+		for _, f := range s.byMax[:forced] {
+			if f == id {
+				return true
+			}
+		}
+		return false
 	}
-	// Fill with eligible nodes (MIN ≥ θ) of largest MIN first.
-	type cand struct {
-		id  int
-		min int64
-	}
-	var cands []cand
+	// Fill with eligible nodes (MIN ≥ θ) of largest MIN first
+	// (canonical id tie-break).
+	s.eligible = s.eligible[:0]
 	for id, m := range minEnv {
-		if !inS[id] && m >= theta {
-			cands = append(cands, cand{id, m})
+		if m >= theta && !inS(id) {
+			s.eligible = append(s.eligible, id)
 		}
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].min != cands[b].min {
-			return cands[a].min > cands[b].min
-		}
-		return cands[a].id < cands[b].id
-	})
-	for _, c := range cands {
-		if len(inS) == k {
+	oracle.SortIDs(s.eligible, minEnv)
+	for _, id := range s.eligible {
+		if len(out) == k {
 			break
 		}
-		inS[c.id] = true
-	}
-	out := make([]int, 0, k)
-	for id := range inS {
 		out = append(out, id)
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -206,34 +270,36 @@ type Result struct {
 	Realistic int64
 }
 
-// Solve computes the greedy maximal segmentation.
+// Solve computes the greedy maximal segmentation. Steady-state steps run a
+// single allocation-free feasibility check on reused envelope and solver
+// buffers; the witnessing output set is materialised only when a segment
+// closes (the greedy envelope is maximal there, so the witness equals the
+// one the last feasible extension would have produced).
 func (in *Instance) Solve() Result {
 	var res Result
+	var s solver
 	env := newEnvelope(in.Values[0])
+	trial := newEnvelope(in.Values[0])
 	start := 0
-	lastOut, ok := Witness(env.min, env.max, in.K, in.Eps)
-	if !ok {
-		panic("offline: single step must always be feasible")
-	}
-	curOut := lastOut
-	for t := 1; t < in.T(); t++ {
-		trial := &envelope{min: append([]int64(nil), env.min...), max: append([]int64(nil), env.max...)}
-		trial.extend(in.Values[t])
-		if out, ok := Witness(trial.min, trial.max, in.K, in.Eps); ok {
-			env = trial
-			curOut = out
-			continue
-		}
-		res.Segments = append(res.Segments, Segment{From: start, To: t - 1, Out: curOut})
-		env = newEnvelope(in.Values[t])
-		start = t
-		out, ok := Witness(env.min, env.max, in.K, in.Eps)
+	closeSegment := func(to int) {
+		out, ok := s.witness(env.min, env.max, in.K, in.Eps)
 		if !ok {
 			panic("offline: single step must always be feasible")
 		}
-		curOut = out
+		res.Segments = append(res.Segments, Segment{From: start, To: to, Out: out})
 	}
-	res.Segments = append(res.Segments, Segment{From: start, To: in.T() - 1, Out: curOut})
+	for t := 1; t < in.T(); t++ {
+		trial.copyFrom(env)
+		trial.extend(in.Values[t])
+		if s.feasible(trial.min, trial.max, in.K, in.Eps) {
+			env, trial = trial, env
+			continue
+		}
+		closeSegment(t - 1)
+		env.reset(in.Values[t])
+		start = t
+	}
+	closeSegment(in.T() - 1)
 	res.Breaks = len(res.Segments) - 1
 	res.Realistic = in.realisticCost(res.Segments)
 	return res
@@ -320,24 +386,12 @@ func (in *Instance) BruteSegments() int {
 // SigmaMax returns max_t σ(t) for the instance, the paper's σ parameter.
 func (in *Instance) SigmaMax() int {
 	best := 0
+	var sc oracle.Scratch
 	for _, row := range in.Values {
-		s := sigmaOf(row, in.K, in.Eps)
-		if s > best {
-			best = s
+		truth := oracle.ComputeInto(&sc, row, in.K, in.Eps)
+		if truth.Sigma > best {
+			best = truth.Sigma
 		}
 	}
 	return best
-}
-
-func sigmaOf(row []int64, k int, e eps.Eps) int {
-	sorted := append([]int64(nil), row...)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a] > sorted[b] })
-	vk := sorted[k-1]
-	count := 0
-	for _, v := range row {
-		if !e.ClearlyAbove(v, vk) && !e.ClearlyBelow(v, vk) {
-			count++
-		}
-	}
-	return count
 }

@@ -2,7 +2,7 @@ package protocol
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"topkmon/internal/cluster"
 	"topkmon/internal/eps"
@@ -71,6 +71,16 @@ type Dense struct {
 
 	// Trace, when set, receives a line per state transition (debugging).
 	Trace func(format string, args ...any)
+
+	rules ruleScratch
+	// Reusable working memory for the per-violation bookkeeping: the
+	// output recomputation buffers, the round-broadcast rule, the
+	// persistent SUBPROTOCOL state, and scratch id lists for the
+	// deterministic sorted iterations.
+	takeBuf, fillBuf, outBuf []int
+	roundRule                *wire.FilterRule
+	subStore                 subState
+	idBuf                    []int
 }
 
 func (d *Dense) trace(format string, args ...any) {
@@ -87,7 +97,20 @@ func NewDense(c cluster.Cluster, k int, e eps.Eps) *Dense {
 	if e.IsZero() {
 		panic("protocol: Dense needs ε > 0; use ExactMid for the exact problem")
 	}
-	return &Dense{c: c, k: k, e: e}
+	return &Dense{
+		c: c, k: k, e: e,
+		v1: map[int]bool{}, v2: map[int]bool{}, v3: map[int]bool{},
+		s1: map[int]bool{}, s2: map[int]bool{},
+	}
+}
+
+// clearSets empties the partition maps, keeping their buckets allocated.
+func (d *Dense) clearSets() {
+	clear(d.v1)
+	clear(d.v2)
+	clear(d.v3)
+	clear(d.s1)
+	clear(d.s2)
 }
 
 // Name implements Monitor.
@@ -118,8 +141,7 @@ func (d *Dense) StartWithProbe(reps []wire.Report) {
 	d.gen++
 	d.active = true
 	d.sub = nil
-	d.v1, d.v2, d.v3 = map[int]bool{}, map[int]bool{}, map[int]bool{}
-	d.s1, d.s2 = map[int]bool{}, map[int]bool{}
+	d.clearSets()
 	vk, vk1 := reps[d.k-1].Value, reps[d.k].Value
 	d.trace("epoch %d start: vk=%d vk1=%d", d.epochs, vk, vk1)
 	if vk == vk1 {
@@ -130,7 +152,7 @@ func (d *Dense) StartWithProbe(reps []wire.Report) {
 	d.inPreamble = true
 	d.preVK, d.preV1 = vk, vk1
 	d.out = ids(reps[:d.k])
-	assignTwoSided(d.c, d.out, filter.AtLeast(vk1), filter.AtMost(vk))
+	d.rules.assignTwoSided(d.c, d.out, filter.AtLeast(vk1), filter.AtMost(vk))
 }
 
 // beginWithZ classifies the nodes around z and opens round 0. It probes the
@@ -145,8 +167,7 @@ func (d *Dense) beginWithZ(z int64) {
 	high := d.c.Collect(wire.InRange(d.zUpper+1, filter.Inf))
 	mid := d.c.Collect(wire.InRange(d.zLowC, d.zUpper))
 
-	d.v1, d.v2, d.v3 = map[int]bool{}, map[int]bool{}, map[int]bool{}
-	d.s1, d.s2 = map[int]bool{}, map[int]bool{}
+	d.clearSets()
 	for _, r := range high {
 		d.v1[r.ID] = true
 	}
@@ -172,10 +193,12 @@ func (d *Dense) beginWithZ(z int64) {
 	// members get their tags by unicast (≤ k + σ messages).
 	rule := resetAllTags(wire.TagV3).With(wire.TagV3, filter.AtMost(d.ur()))
 	d.c.BroadcastRule(rule)
-	for _, i := range sortedIDs(d.v1) {
+	d.idBuf = sortedInto(d.idBuf, d.v1)
+	for _, i := range d.idBuf {
 		d.c.SetTagFilter(i, wire.TagV1, filter.AtLeast(d.lr()))
 	}
-	for _, i := range sortedIDs(d.v2) {
+	d.idBuf = sortedInto(d.idBuf, d.v2)
+	for _, i := range d.idBuf {
 		d.c.SetTagFilter(i, wire.TagV2, filter.Make(d.lr(), d.ur()))
 	}
 	d.refreshOutput()
@@ -313,7 +336,7 @@ func (d *Dense) handleDense(rep wire.Report) {
 func (d *Dense) halveLower() {
 	d.l = d.l.LowerHalf()
 	d.Halvings++
-	d.s2 = map[int]bool{}
+	clear(d.s2)
 	d.advanceRound( /* disbandS2 */ true, false)
 }
 
@@ -322,7 +345,7 @@ func (d *Dense) halveLower() {
 func (d *Dense) halveUpper() {
 	d.l = d.l.UpperHalf()
 	d.Halvings++
-	d.s1 = map[int]bool{}
+	clear(d.s1)
 	d.advanceRound(false /* disbandS1 */, true)
 }
 
@@ -336,7 +359,7 @@ func (d *Dense) advanceRound(disbandS2, disbandS1 bool) {
 		return
 	}
 	d.round++
-	rule := wire.NewFilterRule()
+	rule := d.freshRoundRule()
 	if disbandS2 {
 		rule.WithRetag(wire.TagV2S2, wire.TagV2)
 		rule.WithRetag(wire.TagV2S12, wire.TagV2S1)
@@ -348,6 +371,17 @@ func (d *Dense) advanceRound(disbandS2, disbandS1 bool) {
 	d.roundFilters(rule)
 	d.c.BroadcastRule(rule)
 	d.refreshOutput()
+}
+
+// freshRoundRule returns the reusable broadcast rule, reset to empty.
+// Engines apply rules synchronously (see cluster.Cluster.BroadcastRule), so
+// one rule object serves every round broadcast.
+func (d *Dense) freshRoundRule() *wire.FilterRule {
+	if d.roundRule == nil {
+		d.roundRule = wire.NewFilterRule()
+	}
+	*d.roundRule = wire.FilterRule{}
+	return d.roundRule
 }
 
 // roundFilters installs the step-2 filter table for the current round.
@@ -407,29 +441,47 @@ func (d *Dense) checkTopKSwitch() {
 }
 
 // refreshOutput recomputes F(t) = V1 ∪ (S1\S2) ∪ fill from V2\(S1∪S2);
-// during SUBPROTOCOL the primed sets take over (Lemma 5.4's output). If no
-// valid output of size k exists the dense premise broke and the epoch ends.
+// during SUBPROTOCOL the primed sets take over (Lemma 5.4's output — and
+// S′1\S′2 ∪ (S′1∩S′2) = S′1). If no valid output of size k exists the dense
+// premise broke and the epoch ends. All buffers are reused; V1 and the
+// S-sets are disjoint subsets of the partition, so concatenation needs no
+// dedup, and sorting makes the result independent of map iteration order.
 func (d *Dense) refreshOutput() {
-	var take []int
-	var fillFrom []int
-	if d.sub == nil {
-		take = unionIDs(d.v1, diff(d.s1, d.s2))
-		fillFrom = sortedIDs(diffAll(d.v2, d.s1, d.s2))
-	} else {
-		take = unionIDs(d.v1, d.sub.s1) // S′1\S′2 ∪ (S′1∩S′2) = S′1
-		fillFrom = sortedIDs(diffAll(d.v2, d.sub.s1, d.sub.s2))
+	s1, s2 := d.s1, d.s2
+	if d.sub != nil {
+		s1, s2 = d.sub.s1, d.sub.s2
 	}
+	take := d.takeBuf[:0]
+	for i := range d.v1 {
+		take = append(take, i)
+	}
+	for i := range s1 {
+		if d.sub != nil || !s2[i] {
+			take = append(take, i)
+		}
+	}
+	d.takeBuf = take
 	if len(take) > d.k {
 		d.endEpoch()
 		return
 	}
+	fill := d.fillBuf[:0]
+	for i := range d.v2 {
+		if !s1[i] && !s2[i] {
+			fill = append(fill, i)
+		}
+	}
+	slices.Sort(fill)
+	d.fillBuf = fill
 	need := d.k - len(take)
-	if need > len(fillFrom) {
+	if need > len(fill) {
 		d.endEpoch()
 		return
 	}
-	out := append(take, fillFrom[:need]...)
-	sort.Ints(out)
+	out := append(d.outBuf[:0], take...)
+	out = append(out, fill[:need]...)
+	slices.Sort(out)
+	d.outBuf = out
 	d.out = out
 }
 
@@ -464,44 +516,19 @@ func (d *Dense) CheckInvariants(tags []wire.Tag) error {
 // --- small set helpers ---
 
 func sortedIDs(m map[int]bool) []int {
-	out := make([]int, 0, len(m))
+	return sortedInto(make([]int, 0, len(m)), m)
+}
+
+// sortedInto appends m's keys to buf[:0] and sorts them, reusing buf's
+// capacity — the allocation-free form of sortedIDs for deterministic
+// iteration in hot paths.
+func sortedInto(buf []int, m map[int]bool) []int {
+	buf = buf[:0]
 	for i := range m {
-		out = append(out, i)
+		buf = append(buf, i)
 	}
-	sort.Ints(out)
-	return out
-}
-
-func unionIDs(ms ...map[int]bool) []int {
-	seen := map[int]bool{}
-	for _, m := range ms {
-		for i := range m {
-			seen[i] = true
-		}
-	}
-	return sortedIDs(seen)
-}
-
-// diff returns a \ b as a set.
-func diff(a, b map[int]bool) map[int]bool {
-	out := map[int]bool{}
-	for i := range a {
-		if !b[i] {
-			out[i] = true
-		}
-	}
-	return out
-}
-
-// diffAll returns a \ (b ∪ c) as a set.
-func diffAll(a, b, c map[int]bool) map[int]bool {
-	out := map[int]bool{}
-	for i := range a {
-		if !b[i] && !c[i] {
-			out[i] = true
-		}
-	}
-	return out
+	slices.Sort(buf)
+	return buf
 }
 
 func intersects(a, b map[int]bool) bool {
@@ -517,10 +544,10 @@ func intersects(a, b map[int]bool) bool {
 	return false
 }
 
-func copySet(m map[int]bool) map[int]bool {
-	out := make(map[int]bool, len(m))
-	for i := range m {
-		out[i] = true
+// copySetInto clears dst and fills it with src's members.
+func copySetInto(dst, src map[int]bool) {
+	clear(dst)
+	for i := range src {
+		dst[i] = true
 	}
-	return out
 }

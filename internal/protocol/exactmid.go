@@ -21,6 +21,7 @@ type ExactMid struct {
 	out    []int
 	l      filter.Interval
 	epochs int64
+	rules  ruleScratch
 }
 
 // NewExactMid returns the monitor for the exact problem (ε plays no role).
@@ -49,7 +50,7 @@ func (m *ExactMid) startEpoch() {
 	m.out = ids(reps[:m.k])
 	m.l = filter.Make(reps[m.k].Value, reps[m.k-1].Value)
 	mid := m.l.Mid()
-	assignTwoSided(m.c, m.out, filter.AtLeast(mid), filter.AtMost(mid))
+	m.rules.assignTwoSided(m.c, m.out, filter.AtLeast(mid), filter.AtMost(mid))
 }
 
 // HandleStep implements Monitor.
@@ -72,5 +73,5 @@ func (m *ExactMid) handle(rep wire.Report) {
 		return
 	}
 	mid := m.l.Mid()
-	retargetTwoSided(m.c, filter.AtLeast(mid), filter.AtMost(mid))
+	m.rules.retargetTwoSided(m.c, filter.AtLeast(mid), filter.AtMost(mid))
 }

@@ -19,6 +19,7 @@ type MidNaive struct {
 	k      int
 	out    []int
 	epochs int64
+	rules  ruleScratch
 }
 
 // NewMidNaive returns the baseline monitor.
@@ -46,7 +47,7 @@ func (m *MidNaive) startEpoch() {
 	reps := TopM(m.c, m.k+1)
 	m.out = ids(reps[:m.k])
 	mid := (reps[m.k].Value + reps[m.k-1].Value) / 2
-	assignTwoSided(m.c, m.out, filter.AtLeast(mid), filter.AtMost(mid))
+	m.rules.assignTwoSided(m.c, m.out, filter.AtLeast(mid), filter.AtMost(mid))
 }
 
 // HandleStep implements Monitor.

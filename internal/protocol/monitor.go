@@ -73,12 +73,23 @@ func resetAllTags(to wire.Tag) *wire.FilterRule {
 	return r
 }
 
+// ruleScratch holds the reusable broadcast rules of a two-sided protocol.
+// Engines apply a rule fully before BroadcastRule returns (see
+// cluster.Cluster), so reusing the same rule object across broadcasts keeps
+// steady-state filter updates allocation-free.
+type ruleScratch struct {
+	assign   *wire.FilterRule // retag-everything epoch opener
+	retarget *wire.FilterRule // in-epoch two-filter update
+}
+
 // assignTwoSided resets the whole cluster to TagRest with the rest filter
 // (one broadcast), then unicasts TagOut with the out filter to each output
 // node — the standard two-filter epoch opening of Prop. 2.4-style protocols.
-func assignTwoSided(c cluster.Cluster, out []int, fOut, fRest filter.Interval) {
-	rule := resetAllTags(wire.TagRest).With(wire.TagRest, fRest)
-	c.BroadcastRule(rule)
+func (rs *ruleScratch) assignTwoSided(c cluster.Cluster, out []int, fOut, fRest filter.Interval) {
+	if rs.assign == nil {
+		rs.assign = resetAllTags(wire.TagRest)
+	}
+	c.BroadcastRule(rs.assign.With(wire.TagRest, fRest))
 	for _, id := range out {
 		c.SetTagFilter(id, wire.TagOut, fOut)
 	}
@@ -86,10 +97,11 @@ func assignTwoSided(c cluster.Cluster, out []int, fOut, fRest filter.Interval) {
 
 // retargetTwoSided updates both filters of an ongoing two-sided epoch with a
 // single broadcast.
-func retargetTwoSided(c cluster.Cluster, fOut, fRest filter.Interval) {
-	c.BroadcastRule(wire.NewFilterRule().
-		With(wire.TagOut, fOut).
-		With(wire.TagRest, fRest))
+func (rs *ruleScratch) retargetTwoSided(c cluster.Cluster, fOut, fRest filter.Interval) {
+	if rs.retarget == nil {
+		rs.retarget = wire.NewFilterRule()
+	}
+	c.BroadcastRule(rs.retarget.With(wire.TagOut, fOut).With(wire.TagRest, fRest))
 }
 
 // pow2Sat returns 2^x saturated to stay well below filter.Inf.

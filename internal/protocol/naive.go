@@ -2,10 +2,11 @@ package protocol
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"topkmon/internal/cluster"
 	"topkmon/internal/filter"
+	"topkmon/internal/oracle"
 	"topkmon/internal/wire"
 )
 
@@ -15,10 +16,11 @@ import (
 // with ~3 messages per changed value — the cost a filterless design pays,
 // and the yardstick the filter-based algorithms are measured against.
 type Naive struct {
-	c    cluster.Cluster
-	k    int
-	vals []int64
-	out  []int
+	c     cluster.Cluster
+	k     int
+	vals  []int64
+	order []int // reusable id-sort buffer
+	out   []int
 }
 
 // NewNaive returns the baseline monitor.
@@ -64,18 +66,13 @@ func (m *Naive) HandleStep() {
 }
 
 func (m *Naive) recompute() {
-	order := make([]int, len(m.vals))
-	for i := range order {
-		order[i] = i
+	if m.order == nil {
+		m.order = make([]int, len(m.vals))
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ia, ib := order[a], order[b]
-		if m.vals[ia] != m.vals[ib] {
-			return m.vals[ia] > m.vals[ib]
-		}
-		return ia < ib
-	})
-	out := append([]int(nil), order[:m.k]...)
-	sort.Ints(out)
-	m.out = out
+	for i := range m.order {
+		m.order[i] = i
+	}
+	oracle.SortIDs(m.order, m.vals)
+	m.out = append(m.out[:0], m.order[:m.k]...)
+	slices.Sort(m.out)
 }

@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"fmt"
+	"slices"
 
 	"topkmon/internal/filter"
 	"topkmon/internal/wire"
@@ -35,20 +36,26 @@ func (s *subState) ur(d *Dense) int64 { return d.e.GrowFloor(s.l.Mid()) }
 // of L at or below ℓ_r, S′1 copies S1, S′2 starts empty. One broadcast
 // retags the disbanded S′2 view and installs the round-0 filters.
 func (d *Dense) startSub(initiator int) {
-	d.trace("startSub init=%d s1=%v s2=%v", initiator, sortedIDs(d.s1), sortedIDs(d.s2))
+	if d.Trace != nil {
+		d.trace("startSub init=%d s1=%v s2=%v", initiator, sortedIDs(d.s1), sortedIDs(d.s2))
+	}
 	d.SubCalls++
 	hi := d.lr()
 	if hi > d.l.Hi {
 		hi = d.l.Hi
 	}
-	d.sub = &subState{
-		l:         filter.Make(d.l.Lo, hi),
-		s1:        copySet(d.s1),
-		s2:        map[int]bool{},
-		initiator: initiator,
-		lastDown:  -1,
+	s := &d.subStore
+	if s.s1 == nil {
+		s.s1, s.s2 = map[int]bool{}, map[int]bool{}
 	}
-	rule := wire.NewFilterRule().
+	s.l = filter.Make(d.l.Lo, hi)
+	s.round = 0
+	copySetInto(s.s1, d.s1)
+	clear(s.s2)
+	s.initiator = initiator
+	s.lastDown = -1
+	d.sub = s
+	rule := d.freshRoundRule().
 		WithRetag(wire.TagV2S2, wire.TagV2).
 		WithRetag(wire.TagV2S12, wire.TagV2S1)
 	d.subRoundFilters(rule)
@@ -173,14 +180,22 @@ func (d *Dense) subUpperHalf() {
 	s.l = s.l.UpperHalf()
 	// Reset S′1 to S1: nodes recorded above an older, lower u′ lose that
 	// certification (their tag reverts per their S′2 status).
-	for _, i := range sortedIDs(diff(s.s1, d.s1)) {
+	reverting := d.idBuf[:0]
+	for i := range s.s1 {
+		if !d.s1[i] {
+			reverting = append(reverting, i)
+		}
+	}
+	slices.Sort(reverting)
+	d.idBuf = reverting
+	for _, i := range reverting {
 		if s.s2[i] {
 			d.c.SetTagFilter(i, wire.TagV2S2, filter.Make(d.zLowC, s.ur(d)))
 		} else {
 			d.c.SetTagFilter(i, wire.TagV2, filter.Make(d.lr(), s.ur(d)))
 		}
 	}
-	s.s1 = copySet(d.s1)
+	copySetInto(s.s1, d.s1)
 	if s.l.Empty() {
 		victim := s.lastDown
 		if victim < 0 || !d.v2[victim] {
@@ -195,7 +210,7 @@ func (d *Dense) subUpperHalf() {
 		return
 	}
 	s.round++
-	rule := wire.NewFilterRule()
+	rule := d.freshRoundRule()
 	d.subRoundFilters(rule)
 	d.c.BroadcastRule(rule)
 	d.refreshOutput()
@@ -219,9 +234,9 @@ func (d *Dense) subLowerHalf(violator int) {
 		}
 		return
 	}
-	s.s2 = map[int]bool{}
+	clear(s.s2)
 	s.round++
-	rule := wire.NewFilterRule().
+	rule := d.freshRoundRule().
 		WithRetag(wire.TagV2S2, wire.TagV2).
 		WithRetag(wire.TagV2S12, wire.TagV2S1)
 	d.subRoundFilters(rule)
@@ -234,17 +249,20 @@ func (d *Dense) subLowerHalf(violator int) {
 // rebroadcasts the DENSE round filters so V3/V2 filters widen back from u′
 // to u_r.
 func (d *Dense) subEnd() {
-	d.trace("subEnd s1'=%v s2'=%v", sortedIDs(d.sub.s1), sortedIDs(d.sub.s2))
+	if d.Trace != nil {
+		d.trace("subEnd s1'=%v s2'=%v", sortedIDs(d.sub.s1), sortedIDs(d.sub.s2))
+	}
 	s := d.sub
 	d.sub = nil
-	for _, i := range sortedIDs(d.v2) {
+	d.idBuf = sortedInto(d.idBuf, d.v2)
+	for _, i := range d.idBuf {
 		cur := classTag(s.s1[i], s.s2[i])
 		want := classTag(d.s1[i], d.s2[i])
 		if cur != want {
 			d.c.SetTagFilter(i, want, d.denseFilterFor(want))
 		}
 	}
-	rule := wire.NewFilterRule()
+	rule := d.freshRoundRule()
 	d.roundFilters(rule)
 	d.c.BroadcastRule(rule)
 }
@@ -306,10 +324,15 @@ func (d *Dense) maybeReenterSub() {
 	if !d.active || d.sub != nil {
 		return
 	}
-	for _, i := range sortedIDs(d.s1) {
-		if d.s2[i] {
-			d.startSub(i)
-			return
+	// Pick the smallest-id unresolved S1∩S2 node (the first hit of the
+	// former sorted iteration) without materialising the sorted list.
+	best := -1
+	for i := range d.s1 {
+		if d.s2[i] && (best < 0 || i < best) {
+			best = i
 		}
+	}
+	if best >= 0 {
+		d.startSub(best)
 	}
 }

@@ -75,6 +75,7 @@ type TopKProto struct {
 	OnEpochEnd func()
 
 	phaseViolations map[Phase]int64
+	rules           ruleScratch
 }
 
 // NewTopKProto returns the Section 4 monitor.
@@ -116,7 +117,7 @@ func (m *TopKProto) StartWithProbe(reps []wire.Report) {
 	m.a1Broken = false
 	m.recomputePhase()
 	fOut, fRest := m.filters()
-	assignTwoSided(m.c, m.out, fOut, fRest)
+	m.rules.assignTwoSided(m.c, m.out, fOut, fRest)
 }
 
 // recomputePhase applies the P1–P4 cascade to the current L = [ℓ, u].
@@ -217,7 +218,7 @@ func (m *TopKProto) Handle(rep wire.Report) {
 	}
 	m.recomputePhase()
 	fOut, fRest := m.filters()
-	retargetTwoSided(m.c, fOut, fRest)
+	m.rules.retargetTwoSided(m.c, fOut, fRest)
 }
 
 func (m *TopKProto) endEpoch() {

@@ -10,6 +10,7 @@ import (
 
 	"topkmon/internal/cluster"
 	"topkmon/internal/eps"
+	"topkmon/internal/filter"
 	"topkmon/internal/lockstep"
 	"topkmon/internal/metrics"
 	"topkmon/internal/offline"
@@ -108,15 +109,30 @@ func Run(cfg Config) (Report, error) {
 		Steps:    cfg.Steps,
 	}
 	adaptive, _ := cfg.Gen.(stream.Adaptive)
-	trace := make([][]int64, 0, cfg.Steps)
+
+	// The recorded trace is only needed for offline pricing or on request;
+	// skipping it keeps pure monitoring runs free of per-step retention.
+	needTrace := cfg.ComputeOPT || cfg.KeepTrace
+	var trace [][]int64
+	if needTrace {
+		trace = make([][]int64, 0, cfg.Steps)
+	}
+
+	// Per-step scratch: the oracle buffers and the adaptive-adversary
+	// filter snapshot are reused across all T steps.
+	var sc oracle.Scratch
+	var filterBuf []filter.Interval
 
 	for t := 0; t < cfg.Steps; t++ {
 		if adaptive != nil {
-			adaptive.ObserveFilters(eng.Filters(), mon.Output())
+			filterBuf = eng.FiltersInto(filterBuf)
+			adaptive.ObserveFilters(filterBuf, mon.Output())
 		}
 		vals := cfg.Gen.Next(t)
 		eng.Advance(vals)
-		trace = append(trace, vals)
+		if needTrace {
+			trace = append(trace, vals)
+		}
 
 		if t == 0 {
 			mon.Start()
@@ -125,7 +141,7 @@ func Run(cfg Config) (Report, error) {
 		}
 
 		if cfg.Validate != ValidateNone {
-			truth := oracle.Compute(vals, cfg.K, cfg.Eps)
+			truth := oracle.ComputeInto(&sc, vals, cfg.K, cfg.Eps)
 			if truth.Sigma > rep.SigmaMax {
 				rep.SigmaMax = truth.Sigma
 			}

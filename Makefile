@@ -1,13 +1,36 @@
+# Build/test/benchmark entry points.
+#
+# Benchmark workflow (the BENCH_*.json trajectory):
+#   `make bench` runs the full root benchmark suite and captures the
+#   test2json event stream in $(BENCH_OUT) (default BENCH_local.json)
+#   alongside the human-readable console lines. Committed snapshots record
+#   the trajectory across PRs — BENCH_PR1.json (lockstep/oracle zero-alloc
+#   baseline), BENCH_PR2.json (live-engine batching + engine Reset reuse,
+#   with explicit before/after numbers) — and future PRs diff against them
+#   with benchstat or jq, e.g.:
+#     jq -r 'select(.Action=="output") | .Output' BENCH_PR2.json | grep Benchmark
+#   `make bench-smoke` is the CI-speed variant (one iteration per
+#   benchmark, alloc regressions still fail loudly via the *Allocs tests).
+#
+# `make check` = build + fmt-check + vet + test, the same gate CI runs.
+
 GO ?= go
 BENCHTIME ?= 300ms
 BENCH_OUT ?= BENCH_local.json
 
-.PHONY: all build vet test check bench bench-smoke
+.PHONY: all build fmt-check vet test check bench bench-smoke
 
 all: check
 
 build:
 	$(GO) build ./...
+
+# fmt-check fails (listing the files) if any file needs gofmt.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "files need gofmt:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -15,7 +38,7 @@ vet:
 test:
 	$(GO) test ./...
 
-check: build vet test
+check: build fmt-check vet test
 
 # bench runs the full root benchmark suite and captures machine-readable
 # JSON (test2json event stream) in $(BENCH_OUT) alongside the human-readable

@@ -7,7 +7,13 @@
 //
 //	topkmon [-n 32] [-k 4] [-eps 1/8] [-steps 2000] [-workload loads]
 //	        [-monitor approx] [-seed 7] [-report 200] [-engine live]
+//	        [-repeat 1]
 //	topkmon -scenario run.json [-engine lockstep]
+//
+// With -repeat R the session runs R times on ONE engine, rewound between
+// sessions with Engine.Reset(seed+r) — each repetition is bit-identical to
+// a fresh process started with that seed, at none of the construction cost
+// (for the live engine: the n goroutines are started once).
 package main
 
 import (
@@ -43,6 +49,8 @@ func main() {
 	scenarioPath := flag.String("scenario", "", "run a JSON scenario file instead of the flag-based setup")
 	parallel := flag.Int("parallel", 0,
 		"cap OS-level parallelism (GOMAXPROCS) for the live engine's node goroutines; 0 keeps the runtime default")
+	repeat := flag.Int("repeat", 1,
+		"run the session this many times, reusing one engine via Reset(seed+r) between runs")
 	flag.Parse()
 
 	if *parallel > 0 {
@@ -50,10 +58,11 @@ func main() {
 	}
 
 	var (
-		gen stream.Generator
-		e   eps.Eps
-		err error
-		mkM func(cluster.Cluster) (protocol.Monitor, error)
+		gen   stream.Generator
+		e     eps.Eps
+		err   error
+		mkM   func(cluster.Cluster) (protocol.Monitor, error)
+		mkGen func(seed uint64) (stream.Generator, error)
 	)
 	if *scenarioPath != "" {
 		f, ferr := os.Open(*scenarioPath)
@@ -65,7 +74,9 @@ func main() {
 		if serr != nil {
 			fail(serr)
 		}
-		gen, err = spec.BuildGenerator()
+		// Scenario files pin their own seed, so repeats replay identically.
+		mkGen = func(uint64) (stream.Generator, error) { return spec.BuildGenerator() }
+		gen, err = mkGen(0)
 		if err != nil {
 			fail(err)
 		}
@@ -80,7 +91,10 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		gen, err = makeWorkload(*workload, *n, *seed)
+		mkGen = func(seed uint64) (stream.Generator, error) {
+			return makeWorkload(*workload, *n, seed)
+		}
+		gen, err = mkGen(*seed)
 		if err != nil {
 			fail(err)
 		}
@@ -101,19 +115,38 @@ func main() {
 		fail(fmt.Errorf("unknown engine %q", *engine))
 	}
 
-	mon, err := mkM(eng)
-	if err != nil {
-		fail(err)
+	for r := 0; r < *repeat; r++ {
+		sessionSeed := *seed + uint64(r)
+		if r > 0 {
+			// One engine, many sessions: Reset rewinds it to the state a
+			// fresh construction with sessionSeed would have.
+			eng.Reset(sessionSeed)
+			if gen, err = mkGen(sessionSeed); err != nil {
+				fail(err)
+			}
+		}
+		mon, merr := mkM(eng)
+		if merr != nil {
+			fail(merr)
+		}
+		if *repeat > 1 {
+			fmt.Printf("=== session %d/%d (seed %d) ===\n", r+1, *repeat, sessionSeed)
+		}
+		fmt.Printf("topkmon: %s on %s, n=%d k=%d ε=%s engine=%s\n",
+			mon.Name(), gen.Name(), *n, *k, e, *engine)
+		runSession(eng, gen, mon, *k, e, *steps, *report)
 	}
+}
 
-	fmt.Printf("topkmon: %s on %s, n=%d k=%d ε=%s engine=%s\n",
-		mon.Name(), gen.Name(), *n, *k, e, *engine)
-
+// runSession drives one complete monitoring session on an already-seeded
+// engine, validating every output and printing the communication summary.
+func runSession(eng cluster.Engine, gen stream.Generator, mon protocol.Monitor,
+	k int, e eps.Eps, steps, report int) {
 	adaptive, _ := gen.(stream.Adaptive)
 	var invalid int
 	var sc oracle.Scratch
 	var filterBuf []filter.Interval
-	for t := 0; t < *steps; t++ {
+	for t := 0; t < steps; t++ {
 		if adaptive != nil {
 			filterBuf = eng.FiltersInto(filterBuf)
 			adaptive.ObserveFilters(filterBuf, mon.Output())
@@ -125,22 +158,22 @@ func main() {
 		} else {
 			mon.HandleStep()
 		}
-		truth := oracle.ComputeInto(&sc, vals, *k, e)
+		truth := oracle.ComputeInto(&sc, vals, k, e)
 		if err := truth.ValidateEps(mon.Output()); err != nil {
 			invalid++
 			fmt.Printf("step %6d: INVALID OUTPUT: %v\n", t, err)
 		}
 		eng.EndStep()
-		if *report > 0 && (t+1)%*report == 0 {
+		if report > 0 && (t+1)%report == 0 {
 			c := eng.Counters()
 			fmt.Printf("step %6d: top-%d=%v  v_k=%d  σ=%d  msgs=%d (%.3f/step)\n",
-				t+1, *k, mon.Output(), truth.VK, truth.Sigma,
+				t+1, k, mon.Output(), truth.VK, truth.Sigma,
 				c.Total(), float64(c.Total())/float64(t+1))
 		}
 	}
 
 	c := eng.Counters()
-	fmt.Printf("\nfinished %d steps; epochs=%d, invalid outputs=%d\n", *steps, mon.Epochs(), invalid)
+	fmt.Printf("\nfinished %d steps; epochs=%d, invalid outputs=%d\n", steps, mon.Epochs(), invalid)
 	fmt.Printf("messages: total=%d  node→server=%d  unicast=%d  broadcast=%d\n",
 		c.Total(), c.ByChannel(metrics.NodeToServer),
 		c.ByChannel(metrics.ServerToNode), c.ByChannel(metrics.Broadcast))

@@ -29,25 +29,39 @@
 //
 // # Performance
 //
-// The simulation hot path is allocation-free in steady state, enforced by
-// the root benchmarks (BenchmarkMonitorStep/*, BenchmarkOracle, and the
+// The simulation hot path is allocation-free in steady state on BOTH
+// engines, enforced by the benchmarks and tests (BenchmarkMonitorStep/*,
+// BenchmarkLiveStep/* + TestLiveStepAllocs, BenchmarkOracle, and the
 // primitive micro-benchmarks all report 0 allocs/op):
 //
 //   - The oracle exposes ComputeInto with a reusable Scratch (persistent
 //     order/neighborhood/validation buffers and a packed-key index sort);
 //     Compute remains as an allocating convenience wrapper. sim.Run,
 //     offline.SigmaMax, and cmd/topkmon hold one Scratch per run.
-//   - The lockstep engine reuses its sweep buffer and double-buffers
-//     Collect results; see the ownership contract on cluster.Cluster.
-//     Inspector gains ValuesInto/FiltersInto for per-step snapshots.
-//   - Protocols reuse broadcast FilterRules (engines apply rules
-//     synchronously) and their set/output scratch buffers.
+//   - Both engines reuse their sweep buffer and double-buffer Collect
+//     results; see the ownership contract on cluster.Cluster. Inspector
+//     has ValuesInto/FiltersInto for per-step snapshots.
+//   - The live (goroutine-per-node) engine batches directives per step:
+//     reply-free mutations are deferred into a reusable batch that rides
+//     along with the next response-bearing barrier, and responses land in
+//     per-node slots — no per-directive channel round-trips, no response
+//     sorting, no steady-state allocation. See the internal/live package
+//     docs for the flush protocol.
+//   - Protocols reuse broadcast FilterRules (engines apply or copy rules
+//     before returning) and their set/output scratch buffers.
 //   - offline.Solve reuses envelope and solver buffers and materialises a
 //     witness only when a segment closes.
 //
+// Engines additionally support Reset(seed): a rewind to the exact state a
+// fresh construction with that seed would produce (byte-identical traces,
+// asserted by the Reset property tests). The experiment harness reuses one
+// engine per worker across all trials of a table cell, and cmd/topkmon
+// -repeat reuses one live engine across whole sessions.
+//
 // Benchmarks: `go test -bench=. -benchmem` at the repo root, or
 // `make bench` for machine-readable JSON (BENCH_*.json records the
-// trajectory across PRs; BENCH_PR1.json is the first baseline).
+// trajectory across PRs: BENCH_PR1.json is the lockstep/oracle baseline,
+// BENCH_PR2.json the live-engine batching + engine-reuse deltas).
 //
 // The experiment harness fans independent trials and sweep points across
 // exp.Options.Parallelism goroutines (cmd/bench flag -parallel). Every unit
@@ -55,8 +69,9 @@
 // order — so tables are byte-identical for every worker count, asserted by
 // TestParallelRunsAreDeterministic.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and the
-// documented interpretations of underspecified paper details, and
+// See README.md for a tour, ARCHITECTURE.md for the paper-section →
+// package map and the engine dataflow, DESIGN.md for the system inventory
+// and the documented interpretations of underspecified paper details, and
 // EXPERIMENTS.md for paper-vs-measured results. This file's package exists
 // to carry the module-level documentation and the root benchmark suite
 // (bench_test.go), which regenerates every experiment.

@@ -10,6 +10,30 @@
 //
 // Every method that moves information between server and nodes has a unit
 // communication cost per message, matching the model of Section 2.
+//
+// # Buffer ownership
+//
+// Both engines run allocation-free in steady state by reusing internal
+// buffers; the slices they hand out therefore have documented lifetimes
+// rather than being fresh copies:
+//
+//   - Collect results survive exactly one further Collect (engines double-
+//     buffer them, because DENSEPROTOCOL holds one result across a second
+//     Collect). Protocols needing a longer lifetime must copy.
+//   - Sweep and DetectViolation results are recycled by the next sweep.
+//   - ValuesInto/FiltersInto append into caller-owned scratch, reusing its
+//     capacity; Values/Filters/Tags are their allocating conveniences.
+//   - BroadcastRule arguments are fully applied (or copied, on the live
+//     engine) before the call returns, so callers may mutate and reuse one
+//     rule across broadcasts.
+//
+// # Engine reuse
+//
+// Reset(seed) rewinds an engine to the state a fresh construction with
+// that seed would produce, keeping nodes and buffers — the experiment
+// harness runs hundreds of trials per table cell on one engine instead of
+// constructing one per trial. The Reset property tests assert that a reset
+// engine's trace is byte-identical to a fresh engine's.
 package cluster
 
 import (
@@ -27,6 +51,16 @@ type Cluster interface {
 	Counters() *metrics.Counters
 	// Rand is the server-side randomness source.
 	Rand() *rngx.Source
+
+	// Reset returns the engine to the state a fresh construction with the
+	// same n and the given seed would produce: values zeroed, filters
+	// all-admitting, tags cleared, max-find state forgotten, counters
+	// emptied, and every RNG stream (server and per-node) rewound. Nodes
+	// and internal buffers are retained, so experiment harnesses can run
+	// hundreds of independent trials on one engine instead of constructing
+	// one per trial. Reset is harness scaffolding: a protocol never calls
+	// it, and monitors built on the engine before a Reset must be rebuilt.
+	Reset(seed uint64)
 
 	// BroadcastRule sends one filter rule to all nodes (cost 1); each node
 	// retags itself and derives its filter from its tag. The rule is fully

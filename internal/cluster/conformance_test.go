@@ -155,6 +155,28 @@ func TestConformanceDetectOnlyViolators(t *testing.T) {
 	}
 }
 
+// TestConformanceDeferredReadsSeeCallOrderValues: MaxFindInit reads node
+// values at execution time, so an engine deferring or batching directives
+// must still execute it against the values of the PRECEDING Advance when a
+// further Advance follows before any flush — the call-order semantics the
+// lockstep engine has by construction. Regression test for the live
+// engine's Advance coalescing.
+func TestConformanceDeferredReadsSeeCallOrderValues(t *testing.T) {
+	for name, mk := range engines(4, 19) {
+		t.Run(name, func(t *testing.T) {
+			eng, done := mk()
+			defer done()
+			eng.Advance([]int64{10, 1, 1, 1})
+			eng.MaxFindInit(5, true) // node 0 activates: 10 > 5
+			eng.Advance([]int64{0, 1, 1, 1})
+			senders := eng.Sweep(wire.AboveActive(-1))
+			if len(senders) != 1 || senders[0].ID != 0 {
+				t.Fatalf("senders = %v, want exactly node 0 (activated at value 10, still active at value 0)", senders)
+			}
+		})
+	}
+}
+
 // TestConformanceRoundsAccounted: sweeps and collects consume protocol
 // rounds on both engines.
 func TestConformanceRoundsAccounted(t *testing.T) {

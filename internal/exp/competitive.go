@@ -47,23 +47,29 @@ func E3ExactCompetitive() Experiment {
 				"log2(Δ)", "exact-mid msgs", "epochs", "msgs/epoch",
 				"mid-naive msgs", "OPT breaks", "exact-mid ratio")
 			type e3row struct{ em, mn sim.Report }
-			rows := parMap(o, len(deltas), func(i int) e3row {
-				delta := deltas[i]
-				em := runOrPanic(sim.Config{
-					K: k, Steps: steps, Seed: o.Seed + 3,
-					Gen:        climberGen(k, rest, delta),
-					NewMonitor: mkMonitor("exact-mid", k, eps.Zero),
-					Validate:   sim.ValidateExact,
-					ComputeOPT: true, OPTEps: eps.Zero,
+			rows := parMapWith(o, len(deltas),
+				func() *engCtx { return &engCtx{} },
+				func(ctx *engCtx, i int) e3row {
+					delta := deltas[i]
+					emGen := climberGen(k, rest, delta)
+					em := runOrPanic(sim.Config{
+						K: k, Steps: steps, Seed: o.Seed + 3,
+						Gen:        emGen,
+						NewMonitor: mkMonitor("exact-mid", k, eps.Zero),
+						Validate:   sim.ValidateExact,
+						ComputeOPT: true, OPTEps: eps.Zero,
+						Engine: ctx.reset(emGen.N(), o.Seed+3),
+					})
+					mnGen := climberGen(k, rest, delta)
+					mn := runOrPanic(sim.Config{
+						K: k, Steps: steps, Seed: o.Seed + 3,
+						Gen:        mnGen,
+						NewMonitor: mkMonitor("mid-naive", k, eps.Zero),
+						Validate:   sim.ValidateExact,
+						Engine:     ctx.reset(mnGen.N(), o.Seed+3),
+					})
+					return e3row{em, mn}
 				})
-				mn := runOrPanic(sim.Config{
-					K: k, Steps: steps, Seed: o.Seed + 3,
-					Gen:        climberGen(k, rest, delta),
-					NewMonitor: mkMonitor("mid-naive", k, eps.Zero),
-					Validate:   sim.ValidateExact,
-				})
-				return e3row{em, mn}
-			})
 			for i, delta := range deltas {
 				em, mn := rows[i].em, rows[i].mn
 				tb.AddRow(log2i(delta), em.Messages.Total(), em.Epochs,
@@ -96,22 +102,28 @@ func E4TopKProtocol() Experiment {
 			t1 := metrics.NewTable("E4a: msgs/epoch vs Δ (n=16, k=4, ε=1/8, adaptive descender)",
 				"log2(Δ)", "exact-mid", "topk-protocol", "topk epochs")
 			type e4row struct{ em, tk sim.Report }
-			rows := parMap(o, len(deltas), func(i int) e4row {
-				delta := deltas[i]
-				em := runOrPanic(sim.Config{
-					K: k, Steps: steps, Seed: o.Seed + 5,
-					Gen:        stream.NewDescender(k, rest, delta),
-					NewMonitor: mkMonitor("exact-mid", k, eps.Zero),
-					Validate:   sim.ValidateExact,
+			rows := parMapWith(o, len(deltas),
+				func() *engCtx { return &engCtx{} },
+				func(ctx *engCtx, i int) e4row {
+					delta := deltas[i]
+					emGen := stream.NewDescender(k, rest, delta)
+					em := runOrPanic(sim.Config{
+						K: k, Steps: steps, Seed: o.Seed + 5,
+						Gen:        emGen,
+						NewMonitor: mkMonitor("exact-mid", k, eps.Zero),
+						Validate:   sim.ValidateExact,
+						Engine:     ctx.reset(emGen.N(), o.Seed+5),
+					})
+					tkGen := stream.NewDescender(k, rest, delta)
+					tk := runOrPanic(sim.Config{
+						K: k, Eps: e, Steps: steps, Seed: o.Seed + 5,
+						Gen:        tkGen,
+						NewMonitor: mkMonitor("topk", k, e),
+						Validate:   sim.ValidateEps,
+						Engine:     ctx.reset(tkGen.N(), o.Seed+5),
+					})
+					return e4row{em, tk}
 				})
-				tk := runOrPanic(sim.Config{
-					K: k, Eps: e, Steps: steps, Seed: o.Seed + 5,
-					Gen:        stream.NewDescender(k, rest, delta),
-					NewMonitor: mkMonitor("topk", k, e),
-					Validate:   sim.ValidateEps,
-				})
-				return e4row{em, tk}
-			})
 			for i, delta := range deltas {
 				em, tk := rows[i].em, rows[i].tk
 				t1.AddRow(log2i(delta),
@@ -129,15 +141,19 @@ func E4TopKProtocol() Experiment {
 			}
 			t2 := metrics.NewTable("E4b: msgs/epoch vs ε (n=16, k=4, Δ=2^22, adaptive climber)",
 				"eps", "1/eps", "msgs", "epochs", "msgs/epoch")
-			epsRows := parMap(o, len(epsilons), func(i int) sim.Report {
-				ee := epsilons[i]
-				return runOrPanic(sim.Config{
-					K: k, Eps: ee, Steps: steps, Seed: o.Seed + 6,
-					Gen:        climberGen(k, rest, 1<<22),
-					NewMonitor: mkMonitor("topk", k, ee),
-					Validate:   sim.ValidateEps,
+			epsRows := parMapWith(o, len(epsilons),
+				func() *engCtx { return &engCtx{} },
+				func(ctx *engCtx, i int) sim.Report {
+					ee := epsilons[i]
+					gen := climberGen(k, rest, 1<<22)
+					return runOrPanic(sim.Config{
+						K: k, Eps: ee, Steps: steps, Seed: o.Seed + 6,
+						Gen:        gen,
+						NewMonitor: mkMonitor("topk", k, ee),
+						Validate:   sim.ValidateEps,
+						Engine:     ctx.reset(gen.N(), o.Seed+6),
+					})
 				})
-			})
 			for i, ee := range epsilons {
 				tk := epsRows[i]
 				t2.AddRow(ee.String(), float64(ee.Den)/float64(ee.Num),
@@ -168,27 +184,33 @@ func E9PhaseAblation() Experiment {
 			tb := metrics.NewTable("E9: TOP-K-PROTOCOL msgs/epoch, phases on vs off (adaptive descender)",
 				"log2(Δ)", "full (A1+A2+A3)", "A3-only (ablated)", "full epochs", "ablated epochs")
 			type e9row struct{ full, ablated sim.Report }
-			rows := parMap(o, len(deltas), func(i int) e9row {
-				delta := deltas[i]
-				full := runOrPanic(sim.Config{
-					K: k, Eps: e, Steps: steps, Seed: o.Seed + 8,
-					Gen:        stream.NewDescender(k, rest, delta),
-					NewMonitor: mkMonitor("topk", k, e),
-					Validate:   sim.ValidateEps,
+			rows := parMapWith(o, len(deltas),
+				func() *engCtx { return &engCtx{} },
+				func(ctx *engCtx, i int) e9row {
+					delta := deltas[i]
+					fullGen := stream.NewDescender(k, rest, delta)
+					full := runOrPanic(sim.Config{
+						K: k, Eps: e, Steps: steps, Seed: o.Seed + 8,
+						Gen:        fullGen,
+						NewMonitor: mkMonitor("topk", k, e),
+						Validate:   sim.ValidateEps,
+						Engine:     ctx.reset(fullGen.N(), o.Seed+8),
+					})
+					ablGen := stream.NewDescender(k, rest, delta)
+					ablated := runOrPanic(sim.Config{
+						K: k, Eps: e, Steps: steps, Seed: o.Seed + 8,
+						Gen: ablGen,
+						NewMonitor: func(c cluster.Cluster) protocol.Monitor {
+							m := protocol.NewTopKProto(c, k, e)
+							m.DisableA1 = true
+							m.DisableA2 = true
+							return m
+						},
+						Validate: sim.ValidateEps,
+						Engine:   ctx.reset(ablGen.N(), o.Seed+8),
+					})
+					return e9row{full, ablated}
 				})
-				ablated := runOrPanic(sim.Config{
-					K: k, Eps: e, Steps: steps, Seed: o.Seed + 8,
-					Gen: stream.NewDescender(k, rest, delta),
-					NewMonitor: func(c cluster.Cluster) protocol.Monitor {
-						m := protocol.NewTopKProto(c, k, e)
-						m.DisableA1 = true
-						m.DisableA2 = true
-						return m
-					},
-					Validate: sim.ValidateEps,
-				})
-				return e9row{full, ablated}
-			})
 			for i, delta := range deltas {
 				full, ablated := rows[i].full, rows[i].ablated
 				tb.AddRow(log2i(delta),

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"topkmon/internal/filter"
-	"topkmon/internal/lockstep"
 	"topkmon/internal/metrics"
 	"topkmon/internal/nodecore"
 	"topkmon/internal/protocol"
@@ -42,23 +41,32 @@ func E1Existence() Experiment {
 	}
 }
 
+// trialCtx is one micro-experiment worker's reusable state: the shared
+// engCtx engine cache plus a value vector. E1 leaves vals all-zero across
+// trials; E2 refills it per trial.
+type trialCtx struct {
+	engCtx
+	vals []int64
+}
+
 func existenceMean(o Options, n, b, trials int) float64 {
-	// Each trial is an independent engine seeded by its own index, so the
-	// fan-out cannot change the outcome.
-	costs := parMap(o, trials, func(trial int) int64 {
-		e := lockstep.New(n, o.Seed+uint64(trial)*977+uint64(n))
-		vals := make([]int64, n)
-		e.Advance(vals)
-		// b nodes hold a "1": realised as a violating filter.
-		for i := 0; i < b; i++ {
-			e.Node(i).SetFilter(filter.Make(5, 10))
-		}
-		before := e.Counters().Snapshot()
-		if senders := e.Sweep(wire.Violating()); len(senders) == 0 {
-			panic("exp: EXISTENCE missed b ≥ 1 ones")
-		}
-		return e.Counters().Snapshot().Sub(before).Total()
-	})
+	// Each trial's engine state depends only on its own index-derived seed
+	// (engine reuse via Reset), so the fan-out cannot change the outcome.
+	costs := parMapWith(o, trials,
+		func() *trialCtx { return &trialCtx{vals: make([]int64, n)} },
+		func(c *trialCtx, trial int) int64 {
+			e := c.reset(n, o.Seed+uint64(trial)*977+uint64(n))
+			e.Advance(c.vals)
+			// b nodes hold a "1": realised as a violating filter.
+			for i := 0; i < b; i++ {
+				e.Node(i).SetFilter(filter.Make(5, 10))
+			}
+			before := e.Counters().Snapshot()
+			if senders := e.Sweep(wire.Violating()); len(senders) == 0 {
+				panic("exp: EXISTENCE missed b ≥ 1 ones")
+			}
+			return e.Counters().Snapshot().Sub(before).Total()
+		})
 	var total int64
 	for _, c := range costs {
 		total += c
@@ -83,20 +91,21 @@ func E2MaxFind() Experiment {
 			tb := metrics.NewTable("E2: FindMax mean messages vs n",
 				"n", "log2(n)", "mean msgs", "msgs/log2(n)")
 			for _, n := range ns {
-				costs := parMap(o, trials, func(trial int) int64 {
-					e := lockstep.New(n, o.Seed+uint64(trial)*31+uint64(n))
-					vals := make([]int64, n)
-					r := rngx.New(uint64(trial)*7 + uint64(n))
-					for i := range vals {
-						vals[i] = r.Int63n(1 << 30)
-					}
-					e.Advance(vals)
-					before := e.Counters().Snapshot()
-					if _, ok := protocol.FindMax(e, true); !ok {
-						panic("exp: FindMax failed")
-					}
-					return e.Counters().Snapshot().Sub(before).Total()
-				})
+				costs := parMapWith(o, trials,
+					func() *trialCtx { return &trialCtx{vals: make([]int64, n)} },
+					func(c *trialCtx, trial int) int64 {
+						e := c.reset(n, o.Seed+uint64(trial)*31+uint64(n))
+						r := rngx.New(uint64(trial)*7 + uint64(n))
+						for i := range c.vals {
+							c.vals[i] = r.Int63n(1 << 30)
+						}
+						e.Advance(c.vals)
+						before := e.Counters().Snapshot()
+						if _, ok := protocol.FindMax(e, true); !ok {
+							panic("exp: FindMax failed")
+						}
+						return e.Counters().Snapshot().Sub(before).Total()
+					})
 				var total int64
 				for _, c := range costs {
 					total += c

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"topkmon/internal/eps"
-	"topkmon/internal/lockstep"
 	"topkmon/internal/metrics"
 	"topkmon/internal/sim"
 	"topkmon/internal/stream"
@@ -32,19 +31,23 @@ func E11SweepAblation() Experiment {
 			tb := metrics.NewTable("E11: violation reporting cost (uniform jumps, k=4, ε=1/8)",
 				"n", "existence msgs", "direct msgs", "direct/existence",
 				"existence reports", "direct reports")
-			// Jobs: (n, reporting scheme) pairs, all independent.
-			reps := parMap(o, len(ns)*2, func(i int) sim.Report {
-				n := ns[i/2]
-				eng := lockstep.New(n, o.Seed+41)
-				eng.DirectReports = i%2 == 1
-				return runOrPanic(sim.Config{
-					K: k, Eps: e, Steps: steps, Seed: o.Seed + 41,
-					Gen:        stream.NewJumps(n, 1000, 1<<20, o.Seed+900+uint64(n)),
-					NewMonitor: mkMonitor("approx", k, e),
-					Validate:   sim.ValidateEps,
-					Engine:     eng,
+			// Jobs: (n, reporting scheme) pairs, all independent; each
+			// worker reuses one engine via Reset (rebuilt only when the
+			// job's n differs from the previous one).
+			reps := parMapWith(o, len(ns)*2,
+				func() *engCtx { return &engCtx{} },
+				func(ctx *engCtx, i int) sim.Report {
+					n := ns[i/2]
+					eng := ctx.reset(n, o.Seed+41)
+					eng.DirectReports = i%2 == 1
+					return runOrPanic(sim.Config{
+						K: k, Eps: e, Steps: steps, Seed: o.Seed + 41,
+						Gen:        stream.NewJumps(n, 1000, 1<<20, o.Seed+900+uint64(n)),
+						NewMonitor: mkMonitor("approx", k, e),
+						Validate:   sim.ValidateEps,
+						Engine:     eng,
+					})
 				})
-			})
 			for i, n := range ns {
 				ex, dr := reps[2*i], reps[2*i+1]
 				tb.AddRow(n, ex.Messages.Total(), dr.Messages.Total(),

@@ -2,20 +2,45 @@
 // node communicating over channels — the protocols running on genuinely
 // concurrent "distributed" nodes.
 //
-// Semantics match the lockstep engine exactly: the server issues a
-// directive (broadcast or unicast) and waits for the addressed nodes'
-// round responses (a barrier realising the model's synchronous rounds;
-// barrier tokens are simulation scaffolding and carry no message cost).
-// Reports are ordered by node id before use, and node-side randomness is
+// # Batched directives
+//
+// The server does not send one channel message per node per directive.
+// Instead it appends directives to a pending batch and flushes the batch as
+// one barrier round: a single signal per participating worker, after which
+// each worker walks the shared batch, executes the directives addressed to
+// it in order, writes its answer into its own slot of a shared response
+// slice, and decrements an atomic countdown whose last holder wakes the
+// server. Directives that need no answer (Advance, BroadcastRule,
+// SetFilter, SetTagFilter, MaxFind*, Reset) are deferred — they ride along
+// with the next response-bearing flush (Probe, Collect, a Sweep round, or
+// an Inspector snapshot) — so a typical time step pays one barrier for
+// Advance + the first sweep round combined instead of one per directive.
+// Per-node execution order equals call order, so deferral is semantically
+// invisible.
+//
+// The batch, the response slots, and the report slices returned by
+// Collect/Sweep are all engine-owned and reused, mirroring the lockstep
+// engine's buffers: the steady state allocates nothing (asserted by
+// TestLiveStepAllocs and tracked by BenchmarkLiveStep). Report-slice
+// ownership follows the cluster.Cluster contract — a Collect result
+// survives exactly one further Collect, a Sweep result only until the next
+// Sweep.
+//
+// # Semantics
+//
+// Semantics match the lockstep engine exactly: a flush is a synchronous
+// round (the barrier realises the model's rounds; barrier tokens are
+// simulation scaffolding and carry no message cost). Responses are gathered
+// by node-id slot, so report order is id order, and node-side randomness is
 // consumed identically, so a live run with the same seed reproduces the
 // lockstep run's counters and outputs bit for bit — asserted by the
-// cross-engine equivalence tests.
+// cross-engine equivalence tests up to n = 10⁴.
 package live
 
 import (
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"topkmon/internal/eps"
 	"topkmon/internal/filter"
@@ -28,8 +53,8 @@ import (
 type dirKind uint8
 
 const (
-	dirAdvance dirKind = iota
-	dirApplyRule
+	dirAdvance   dirKind = iota // per-node values in Cluster.advVals
+	dirApplyRule                // rule at Cluster.rules[ruleIdx]
 	dirSetFilter
 	dirSetTagFilter
 	dirProbe
@@ -39,24 +64,36 @@ const (
 	dirMaxRaise
 	dirMaxExclude
 	dirSnapshot
+	dirReset
 	dirStop
 )
 
+// allNodes as a directive target addresses every worker.
+const allNodes = -1
+
+// serverRNG is the Child id of the server-side randomness stream, shared
+// with the lockstep engine so both derive identical server coin flips from
+// the same seed.
+const serverRNG = 0xC0FFEE
+
 type directive struct {
-	kind   dirKind
-	value  int64
-	rule   *wire.FilterRule
-	iv     filter.Interval
-	tag    wire.Tag
-	pred   wire.Pred
-	round  int
-	reset  bool
-	holder int
-	best   int64
+	kind    dirKind
+	target  int // node id, or allNodes
+	value   int64
+	ruleIdx int
+	iv      filter.Interval
+	tag     wire.Tag
+	pred    wire.Pred
+	round   int
+	reset   bool
+	holder  int
+	best    int64
+	seed    uint64
 }
 
+// response is one worker's answer slot; slot i is written only by worker i
+// during a flush and read only by the server after it.
 type response struct {
-	id       int
 	reported bool
 	report   wire.Report
 	// snapshot fields (Inspector scaffolding)
@@ -67,12 +104,44 @@ type response struct {
 
 // Cluster is the goroutine-per-node engine.
 type Cluster struct {
-	n     int
-	dirs  []chan directive
-	resp  chan response
-	ctr   *metrics.Counters
-	rng   *rngx.Source
-	maxV  int64
+	n    int
+	ctr  *metrics.Counters
+	rng  *rngx.Source
+	maxV int64
+
+	// Pending batch. The server owns these between flushes; workers read
+	// them (and only them) during a flush. advPending coalesces repeated
+	// Advance calls into one directive — only when no other directive was
+	// pushed in between, because deferred directives may read node values
+	// at execution time (see Advance).
+	pend       []directive
+	rules      []wire.FilterRule
+	advVals    []int64
+	advPending bool
+
+	// Flush delivery: per-worker signal channels, an atomic countdown, and
+	// one completion channel the last worker signals. touched/touchedIDs
+	// track which workers a unicast-only batch must wake; a broadcast
+	// directive sets allTouched instead.
+	sig        []chan struct{}
+	remaining  atomic.Int64
+	done       chan struct{}
+	touched    []bool
+	touchedIDs []int
+	allTouched bool
+
+	// resp holds one slot per node, indexed by id — responses arrive
+	// pre-sorted, no gather allocation or sort needed.
+	resp []response
+
+	// Report buffers mirroring the lockstep engine's ownership contract:
+	// sweepBuf backs Sweep results (recycled by the next Sweep), the
+	// double-buffered collectBufs let a Collect result survive exactly one
+	// further Collect.
+	sweepBuf    []wire.Report
+	collectBufs [2][]wire.Report
+	collectIdx  int
+
 	wg    sync.WaitGroup
 	alive bool
 }
@@ -84,16 +153,20 @@ func New(n int, seed uint64) *Cluster {
 	}
 	root := rngx.New(seed)
 	c := &Cluster{
-		n:     n,
-		dirs:  make([]chan directive, n),
-		resp:  make(chan response, n),
-		ctr:   metrics.NewCounters(),
-		rng:   root.Child(0xC0FFEE),
-		maxV:  1,
-		alive: true,
+		n:          n,
+		ctr:        metrics.NewCounters(),
+		rng:        root.Child(serverRNG),
+		maxV:       1,
+		advVals:    make([]int64, n),
+		sig:        make([]chan struct{}, n),
+		done:       make(chan struct{}, 1),
+		touched:    make([]bool, n),
+		touchedIDs: make([]int, 0, n),
+		resp:       make([]response, n),
+		alive:      true,
 	}
 	for i := 0; i < n; i++ {
-		c.dirs[i] = make(chan directive, 1)
+		c.sig[i] = make(chan struct{}, 1)
 		nd := nodecore.New(i, root)
 		c.wg.Add(1)
 		go c.worker(nd)
@@ -101,87 +174,136 @@ func New(n int, seed uint64) *Cluster {
 	return c
 }
 
-// worker is the node goroutine: it owns its nodecore state and answers
-// directives until stopped.
+// worker is the node goroutine: it owns its nodecore state and, once per
+// flush it participates in, executes the pending directives addressed to it
+// in batch order.
 func (c *Cluster) worker(nd *nodecore.Node) {
 	defer c.wg.Done()
-	for d := range c.dirs[nd.ID] {
-		resp := response{id: nd.ID}
-		switch d.kind {
-		case dirAdvance:
-			nd.Observe(d.value)
-		case dirApplyRule:
-			nd.ApplyFilterRule(d.rule)
-		case dirSetFilter:
-			nd.SetFilter(d.iv)
-		case dirSetTagFilter:
-			nd.SetTag(d.tag)
-			nd.SetFilter(d.iv)
-		case dirProbe:
-			resp.reported = true
-			resp.report = wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()}
-		case dirCollect:
-			if nd.Match(d.pred) {
-				resp.reported = true
-				resp.report = wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()}
+	for range c.sig[nd.ID] {
+		stop := false
+		r := &c.resp[nd.ID]
+		*r = response{}
+		for i := range c.pend {
+			d := &c.pend[i]
+			if d.target != allNodes && d.target != nd.ID {
+				continue
 			}
-		case dirExistRound:
-			if nd.Match(d.pred) && nd.ExistenceSend(d.round, c.n) {
-				resp.reported = true
-				resp.report = wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()}
+			switch d.kind {
+			case dirAdvance:
+				nd.Observe(c.advVals[nd.ID])
+			case dirApplyRule:
+				nd.ApplyFilterRule(&c.rules[d.ruleIdx])
+			case dirSetFilter:
+				nd.SetFilter(d.iv)
+			case dirSetTagFilter:
+				nd.SetTag(d.tag)
+				nd.SetFilter(d.iv)
+			case dirProbe:
+				r.reported = true
+				r.report = wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()}
+			case dirCollect:
+				if nd.Match(d.pred) {
+					r.reported = true
+					r.report = wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()}
+				}
+			case dirExistRound:
+				if nd.Match(d.pred) && nd.ExistenceSend(d.round, c.n) {
+					r.reported = true
+					r.report = wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()}
+				}
+			case dirMaxInit:
+				nd.MaxFindInit(d.value, d.reset)
+			case dirMaxRaise:
+				nd.MaxFindRaise(d.holder, d.best)
+			case dirMaxExclude:
+				nd.MaxFindExclude(d.holder)
+			case dirSnapshot:
+				r.reported = true
+				r.value = nd.Value
+				r.filt = nd.Filter
+				r.tag = nd.Tag
+			case dirReset:
+				nd.Reset(rngx.New(d.seed))
+			case dirStop:
+				stop = true
 			}
-		case dirMaxInit:
-			nd.MaxFindInit(d.value, d.reset)
-		case dirMaxRaise:
-			nd.MaxFindRaise(d.holder, d.best)
-		case dirMaxExclude:
-			nd.MaxFindExclude(d.holder)
-		case dirSnapshot:
-			resp.reported = true
-			resp.value = nd.Value
-			resp.filt = nd.Filter
-			resp.tag = nd.Tag
-		case dirStop:
-			c.resp <- resp
+		}
+		if c.remaining.Add(-1) == 0 {
+			c.done <- struct{}{}
+		}
+		if stop {
 			return
 		}
-		c.resp <- resp
 	}
 }
 
-// roundAll sends one directive to every node and gathers the responses of
-// the round, ordered by node id (the barrier).
-func (c *Cluster) roundAll(d directive) []response {
-	for _, ch := range c.dirs {
-		ch <- d
+// push appends a directive to the pending batch and records which workers
+// the next flush must wake.
+func (c *Cluster) push(d directive) {
+	if d.target == allNodes {
+		c.allTouched = true
+	} else if !c.allTouched && !c.touched[d.target] {
+		c.touched[d.target] = true
+		c.touchedIDs = append(c.touchedIDs, d.target)
 	}
-	out := make([]response, 0, c.n)
-	for i := 0; i < c.n; i++ {
-		out = append(out, <-c.resp)
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
-	return out
+	c.pend = append(c.pend, d)
 }
 
-// roundOne sends a directive to one node and awaits its response.
-func (c *Cluster) roundOne(id int, d directive) response {
-	c.dirs[id] <- d
-	return <-c.resp
+// flush delivers the pending batch to every touched worker in one signal
+// each and blocks until all of them have executed it — the engine's barrier
+// round. The server's writes to the batch happen-before the workers'
+// reads (signal channel send/receive); every worker's response writes
+// happen-before the server resumes (atomic countdown observed by the last
+// worker, whose completion send the server receives).
+func (c *Cluster) flush() {
+	if len(c.pend) == 0 {
+		return
+	}
+	if c.allTouched {
+		c.remaining.Store(int64(c.n))
+		for _, ch := range c.sig {
+			ch <- struct{}{}
+		}
+	} else {
+		c.remaining.Store(int64(len(c.touchedIDs)))
+		for _, id := range c.touchedIDs {
+			c.sig[id] <- struct{}{}
+		}
+	}
+	<-c.done
+	for _, id := range c.touchedIDs {
+		c.touched[id] = false
+	}
+	c.touchedIDs = c.touchedIDs[:0]
+	c.allTouched = false
+	c.advPending = false
+	c.pend = c.pend[:0]
+	c.rules = c.rules[:0]
 }
 
-// Close stops all node goroutines. The cluster is unusable afterwards.
+// Close stops all node goroutines. Pending deferred directives are executed
+// first; the cluster is unusable afterwards.
 func (c *Cluster) Close() {
 	if !c.alive {
 		return
 	}
 	c.alive = false
-	for _, ch := range c.dirs {
-		ch <- directive{kind: dirStop}
-	}
-	for i := 0; i < c.n; i++ {
-		<-c.resp
-	}
+	c.push(directive{kind: dirStop, target: allNodes})
+	c.flush()
 	c.wg.Wait()
+}
+
+// Reset implements cluster.Cluster: it rewinds the engine — every node, the
+// counters, and the server RNG — to the state New(n, seed) constructs,
+// keeping the goroutines, batch, and report buffers. The directive is
+// deferred like any other non-response mutation. A reset engine replays a
+// fresh engine's run bit for bit (asserted by the Reset property tests).
+func (c *Cluster) Reset(seed uint64) {
+	root := rngx.New(seed)
+	c.ctr.Reset()
+	c.rng.Reseed(root.ChildSeed(serverRNG))
+	c.maxV = 1
+	c.push(directive{kind: dirReset, target: allNodes, seed: seed})
 }
 
 // N implements cluster.Cluster.
@@ -197,31 +319,44 @@ func (c *Cluster) count(ch metrics.Channel, k wire.Kind) {
 	c.ctr.Count(ch, k.String(), wire.MsgBits(k, c.n, c.maxV))
 }
 
-// Advance implements cluster.Inspector.
+// Advance implements cluster.Inspector. The values are copied into the
+// engine-owned batch and installed by the next flush; callers may reuse
+// their slice immediately.
 func (c *Cluster) Advance(values []int64) {
 	if len(values) != c.n {
 		panic(fmt.Sprintf("live: Advance with %d values for %d nodes", len(values), c.n))
 	}
-	for i, ch := range c.dirs {
-		v := values[i]
+	for i, v := range values {
 		if v < 0 || v > eps.MaxValue {
 			panic(fmt.Sprintf("live: value %d for node %d out of range", v, i))
 		}
 		if v > c.maxV {
 			c.maxV = v
 		}
-		ch <- directive{kind: dirAdvance, value: v}
 	}
-	for i := 0; i < c.n; i++ {
-		<-c.resp
+	if c.advPending && c.pend[len(c.pend)-1].kind != dirAdvance {
+		// Directives pushed since the pending Advance (MaxFindInit,
+		// MaxFindRaise) read node values at execution time; flush so they
+		// observe the earlier values, as call order promises. Coalescing
+		// (below) is only safe when the pending Advance is still the last
+		// directive — then nothing could have read the overwritten values.
+		c.flush()
+	}
+	copy(c.advVals, values)
+	if !c.advPending {
+		c.advPending = true
+		c.push(directive{kind: dirAdvance, target: allNodes})
 	}
 }
 
 // EndStep implements cluster.Inspector.
 func (c *Cluster) EndStep() { c.ctr.EndStep() }
 
-func (c *Cluster) snapshot() []response {
-	return c.roundAll(directive{kind: dirSnapshot})
+// snapshot flushes a snapshot round; afterwards c.resp holds every node's
+// (value, filter, tag) in id order.
+func (c *Cluster) snapshot() {
+	c.push(directive{kind: dirSnapshot, target: allNodes})
+	c.flush()
 }
 
 // Values implements cluster.Inspector.
@@ -229,12 +364,13 @@ func (c *Cluster) Values() []int64 {
 	return c.ValuesInto(make([]int64, 0, c.n))
 }
 
-// ValuesInto implements cluster.Inspector. The snapshot round still
-// allocates (channel scaffolding), but dst's capacity is reused.
+// ValuesInto implements cluster.Inspector: one snapshot flush, then a copy
+// out of the response slots into dst's reused capacity.
 func (c *Cluster) ValuesInto(dst []int64) []int64 {
+	c.snapshot()
 	dst = dst[:0]
-	for _, r := range c.snapshot() {
-		dst = append(dst, r.value)
+	for i := range c.resp {
+		dst = append(dst, c.resp[i].value)
 	}
 	return dst
 }
@@ -246,40 +382,45 @@ func (c *Cluster) Filters() []filter.Interval {
 
 // FiltersInto implements cluster.Inspector.
 func (c *Cluster) FiltersInto(dst []filter.Interval) []filter.Interval {
+	c.snapshot()
 	dst = dst[:0]
-	for _, r := range c.snapshot() {
-		dst = append(dst, r.filt)
+	for i := range c.resp {
+		dst = append(dst, c.resp[i].filt)
 	}
 	return dst
 }
 
 // Tags implements cluster.Inspector.
 func (c *Cluster) Tags() []wire.Tag {
-	snap := c.snapshot()
+	c.snapshot()
 	out := make([]wire.Tag, c.n)
-	for i, r := range snap {
-		out[i] = r.tag
+	for i := range c.resp {
+		out[i] = c.resp[i].tag
 	}
 	return out
 }
 
-// BroadcastRule implements cluster.Cluster.
+// BroadcastRule implements cluster.Cluster. The rule is copied into the
+// engine-owned batch, so the caller may mutate and reuse it immediately —
+// the contract's "fully applied on return" holds observably because every
+// read of node state flushes first.
 func (c *Cluster) BroadcastRule(rule *wire.FilterRule) {
 	c.count(metrics.Broadcast, wire.KindFilterRule)
 	c.ctr.Rounds(1)
-	c.roundAll(directive{kind: dirApplyRule, rule: rule})
+	c.rules = append(c.rules, *rule)
+	c.push(directive{kind: dirApplyRule, target: allNodes, ruleIdx: len(c.rules) - 1})
 }
 
 // SetFilter implements cluster.Cluster.
 func (c *Cluster) SetFilter(id int, iv filter.Interval) {
 	c.count(metrics.ServerToNode, wire.KindSetFilter)
-	c.roundOne(id, directive{kind: dirSetFilter, iv: iv})
+	c.push(directive{kind: dirSetFilter, target: id, iv: iv})
 }
 
 // SetTagFilter implements cluster.Cluster.
 func (c *Cluster) SetTagFilter(id int, t wire.Tag, iv filter.Interval) {
 	c.count(metrics.ServerToNode, wire.KindSetFilter)
-	c.roundOne(id, directive{kind: dirSetTagFilter, tag: t, iv: iv})
+	c.push(directive{kind: dirSetTagFilter, target: id, tag: t, iv: iv})
 }
 
 // Probe implements cluster.Cluster.
@@ -287,36 +428,48 @@ func (c *Cluster) Probe(id int) wire.Report {
 	c.count(metrics.ServerToNode, wire.KindProbeRequest)
 	c.count(metrics.NodeToServer, wire.KindProbeReply)
 	c.ctr.Rounds(1)
-	return c.roundOne(id, directive{kind: dirProbe}).report
+	c.push(directive{kind: dirProbe, target: id})
+	c.flush()
+	return c.resp[id].report
 }
 
-// Collect implements cluster.Cluster.
+// Collect implements cluster.Cluster. Results alternate between two
+// engine-owned buffers, honouring the Cluster contract that a Collect
+// result survives exactly one further Collect.
 func (c *Cluster) Collect(p wire.Pred) []wire.Report {
 	c.count(metrics.Broadcast, wire.KindCollect)
 	c.ctr.Rounds(1)
-	var out []wire.Report
-	for _, r := range c.roundAll(directive{kind: dirCollect, pred: p}) {
-		if r.reported {
+	c.push(directive{kind: dirCollect, target: allNodes, pred: p})
+	c.flush()
+	out := c.collectBufs[c.collectIdx][:0]
+	for i := range c.resp {
+		if c.resp[i].reported {
 			c.count(metrics.NodeToServer, wire.KindCollectReply)
-			out = append(out, r.report)
+			out = append(out, c.resp[i].report)
 		}
 	}
+	c.collectBufs[c.collectIdx] = out
+	c.collectIdx ^= 1
 	return out
 }
 
-// Sweep implements cluster.Cluster: the EXISTENCE protocol over live
-// goroutine rounds.
+// Sweep implements cluster.Cluster: the EXISTENCE protocol of Lemma 3.1,
+// one batched barrier per probabilistic round. The returned slice is backed
+// by the engine-owned sweep buffer and recycled by the next Sweep.
 func (c *Cluster) Sweep(p wire.Pred) []wire.Report {
 	gamma := nodecore.ExistenceRounds(c.n)
 	for r := 0; r <= gamma; r++ {
 		c.ctr.Rounds(1)
-		var senders []wire.Report
-		for _, resp := range c.roundAll(directive{kind: dirExistRound, pred: p, round: r}) {
-			if resp.reported {
+		c.push(directive{kind: dirExistRound, target: allNodes, pred: p, round: r})
+		c.flush()
+		senders := c.sweepBuf[:0]
+		for i := range c.resp {
+			if c.resp[i].reported {
 				c.count(metrics.NodeToServer, wire.KindExistenceReport)
-				senders = append(senders, resp.report)
+				senders = append(senders, c.resp[i].report)
 			}
 		}
+		c.sweepBuf = senders[:0]
 		if len(senders) > 0 {
 			c.count(metrics.Broadcast, wire.KindHalt)
 			return senders
@@ -338,19 +491,19 @@ func (c *Cluster) DetectViolation() (wire.Report, bool) {
 func (c *Cluster) MaxFindInit(floor int64, reset bool) {
 	c.count(metrics.Broadcast, wire.KindMaxFindInit)
 	c.ctr.Rounds(1)
-	c.roundAll(directive{kind: dirMaxInit, value: floor, reset: reset})
+	c.push(directive{kind: dirMaxInit, target: allNodes, value: floor, reset: reset})
 }
 
 // MaxFindRaise implements cluster.Cluster.
 func (c *Cluster) MaxFindRaise(holder int, best int64) {
 	c.count(metrics.Broadcast, wire.KindMaxFindRaise)
 	c.ctr.Rounds(1)
-	c.roundAll(directive{kind: dirMaxRaise, holder: holder, best: best})
+	c.push(directive{kind: dirMaxRaise, target: allNodes, holder: holder, best: best})
 }
 
 // MaxFindExclude implements cluster.Cluster.
 func (c *Cluster) MaxFindExclude(id int) {
 	c.count(metrics.Broadcast, wire.KindMaxFindExclude)
 	c.ctr.Rounds(1)
-	c.roundAll(directive{kind: dirMaxExclude, holder: id})
+	c.push(directive{kind: dirMaxExclude, target: allNodes, holder: id})
 }

@@ -136,6 +136,90 @@ func TestLockstepEquivalence(t *testing.T) {
 	}
 }
 
+// TestLockstepEquivalenceLargeN raises the cross-engine equivalence proof
+// to n = 10⁴ nodes: with the batched flush pipeline the live engine must
+// still reproduce the lockstep run's outputs and counters bit for bit at a
+// scale where any ordering or lost-directive bug in the batch delivery
+// would surface.
+func TestLockstepEquivalenceLargeN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n equivalence is CI-sized; skipped under -short")
+	}
+	const n, k, steps = 10000, 8, 10
+	e := eps.MustNew(1, 8)
+	gen := stream.NewWalk(n, 100000, 150, 1<<24, 17)
+	trace := make([][]int64, steps)
+	for i := range trace {
+		trace[i] = gen.Next(i)
+	}
+
+	runOn := func(eng cluster.Engine) ([]int, int64, map[string]int64) {
+		mon := protocol.NewApprox(eng, k, e)
+		for ti, vals := range trace {
+			eng.Advance(vals)
+			if ti == 0 {
+				mon.Start()
+			} else {
+				mon.HandleStep()
+			}
+			eng.EndStep()
+		}
+		snap := eng.Counters().Snapshot()
+		return mon.Output(), snap.Total(), snap.ByKind
+	}
+
+	ls := lockstep.New(n, 271828)
+	lv := New(n, 271828)
+	defer lv.Close()
+
+	outA, totalA, kindsA := runOn(ls)
+	outB, totalB, kindsB := runOn(lv)
+
+	if !reflect.DeepEqual(outA, outB) {
+		t.Errorf("outputs diverge: lockstep=%v live=%v", outA, outB)
+	}
+	if totalA != totalB {
+		t.Errorf("totals diverge: lockstep=%d live=%d", totalA, totalB)
+	}
+	if !reflect.DeepEqual(kindsA, kindsB) {
+		t.Errorf("kind counters diverge:\nlockstep=%v\nlive=%v", kindsA, kindsB)
+	}
+}
+
+// TestLiveStepAllocs enforces the batched engine's allocation budget: after
+// warm-up, a full monitored time step (Advance + HandleStep + EndStep) on
+// the live engine allocates nothing — the property BenchmarkLiveStep
+// tracks, asserted here so CI fails on regressions without running
+// benchmarks.
+func TestLiveStepAllocs(t *testing.T) {
+	const n, k, pregen = 64, 8, 512
+	e := eps.MustNew(1, 8)
+	gen := stream.NewWalk(n, 100000, 500, 1<<24, 13)
+	steps := make([][]int64, pregen)
+	for ti := range steps {
+		steps[ti] = gen.Next(ti)
+	}
+	eng := New(n, 5)
+	defer eng.Close()
+	mon := protocol.NewApprox(eng, k, e)
+	eng.Advance(steps[0])
+	mon.Start()
+	eng.EndStep()
+	i := 0
+	step := func() {
+		eng.Advance(steps[(i+1)%pregen])
+		mon.HandleStep()
+		eng.EndStep()
+		i++
+	}
+	for range 128 {
+		step()
+	}
+	if avg := testing.AllocsPerRun(400, step); avg != 0 {
+		t.Errorf("steady-state live step allocates %.2f times per step, want 0", avg)
+	}
+}
+
 func TestCloseIsIdempotent(t *testing.T) {
 	c := New(2, 7)
 	c.Close()

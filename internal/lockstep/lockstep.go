@@ -39,6 +39,11 @@ type Engine struct {
 	DirectReports bool
 }
 
+// serverRNG is the Child id of the server-side randomness stream, shared
+// with the live engine so both derive identical server coin flips from the
+// same seed.
+const serverRNG = 0xC0FFEE
+
 // New returns an engine with n nodes, all values 0, all filters [0, ∞].
 func New(n int, seed uint64) *Engine {
 	if n < 1 {
@@ -48,13 +53,29 @@ func New(n int, seed uint64) *Engine {
 	e := &Engine{
 		nodes: make([]*nodecore.Node, n),
 		ctr:   metrics.NewCounters(),
-		rng:   root.Child(0xC0FFEE),
+		rng:   root.Child(serverRNG),
 		maxV:  1,
 	}
 	for i := range e.nodes {
 		e.nodes[i] = nodecore.New(i, root)
 	}
 	return e
+}
+
+// Reset implements cluster.Cluster: it rewinds the engine to the state
+// New(len(nodes), seed) constructs, reusing nodes, counters, and the
+// sweep/collect buffers. A reset engine replays a fresh engine's run
+// bit for bit (asserted by the Reset property tests), which lets the
+// experiment harness reuse one engine across all trials of a table cell.
+func (e *Engine) Reset(seed uint64) {
+	root := rngx.New(seed)
+	for _, nd := range e.nodes {
+		nd.Reset(root)
+	}
+	e.ctr.Reset()
+	e.rng.Reseed(root.ChildSeed(serverRNG))
+	e.maxV = 1
+	e.DirectReports = false
 }
 
 // N implements cluster.Cluster.

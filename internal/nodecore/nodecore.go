@@ -6,6 +6,12 @@
 // max-find activation flag. All server-visible behaviour is driven through
 // Apply* message handlers and the EXISTENCE send schedule, so the two
 // engines cannot diverge in node logic.
+//
+// Nodes are built for reuse: New allocates the node and its RNG stream
+// once; Reset rewinds both in place to the state New would construct for a
+// given root source, so engine Reset (trial reuse in the experiment
+// harness) allocates nothing on the node side. Handlers never allocate —
+// the per-step zero-allocation budget of both engines rests on that.
 package nodecore
 
 import (
@@ -41,6 +47,20 @@ func New(id int, seed *rngx.Source) *Node {
 		Tag:    wire.TagNone,
 		RNG:    seed.Child(uint64(id)),
 	}
+}
+
+// Reset returns the node to the state New(nd.ID, root) would construct:
+// value 0, the all-admitting filter, no tag, no max-find participation, and
+// the RNG rewound to the child stream New would have derived from root. It
+// reuses the node's Source, so engine Reset stays allocation-free on the
+// node side.
+func (nd *Node) Reset(root *rngx.Source) {
+	nd.Value = 0
+	nd.Filter = filter.All
+	nd.Tag = wire.TagNone
+	nd.MFActive = false
+	nd.MFExcluded = false
+	nd.RNG.Reseed(root.ChildSeed(uint64(nd.ID)))
 }
 
 // Observe sets the node's current value (the next stream element).

@@ -20,9 +20,23 @@ func New(seed uint64) *Source {
 
 // Child derives an independent source for a subcomponent, mixing in an id.
 // Children of distinct ids, and the parent, produce decorrelated streams.
+// Deriving a child does not advance the parent, so the order in which
+// children are created never matters.
 func (s *Source) Child(id uint64) *Source {
-	return New(mix(s.state ^ (0x9e3779b97f4a7c15 * (id + 1))))
+	return New(s.ChildSeed(id))
 }
+
+// ChildSeed returns the seed Child(id) would construct its stream from,
+// without allocating — the allocation-free half of Child used by engine
+// Reset to rewind existing node sources in place.
+func (s *Source) ChildSeed(id uint64) uint64 {
+	return mix(s.state ^ (0x9e3779b97f4a7c15 * (id + 1)))
+}
+
+// Reseed rewinds the source to the state New(seed) would start from,
+// reusing the Source value. Combined with ChildSeed it lets a whole engine
+// restore its RNG tree to a freshly-constructed state without allocating.
+func (s *Source) Reseed(seed uint64) { s.state = seed }
 
 // Uint64 returns the next pseudo-random 64-bit value.
 func (s *Source) Uint64() uint64 {

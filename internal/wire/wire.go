@@ -2,6 +2,14 @@
 // and the nodes, the broadcastable predicates and filter rules, and bit-size
 // accounting used to check the model's message-size constraint (messages may
 // carry at most O(log n + log Δ) bits).
+//
+// Everything here is a pure value: Report, Pred, and FilterRule contain no
+// slices or maps, so engines may copy them freely into reused batch buffers
+// and protocols may keep one FilterRule and mutate it between broadcasts
+// (the engines guarantee a broadcast rule is applied — or copied — before
+// BroadcastRule returns; see the contract on cluster.Cluster). This
+// copy-by-value property is what the engines' zero-allocation steady state
+// is built on.
 package wire
 
 import (

@@ -1,24 +1,29 @@
 # Build/test/benchmark entry points.
 #
-# Benchmark workflow (the BENCH_*.json trajectory):
+# Benchmark workflow (the BENCH_*.json trajectory): see BENCH.md for how to
+# read the snapshots and their caveats. In short:
 #   `make bench` runs the full root benchmark suite and captures the
 #   test2json event stream in $(BENCH_OUT) (default BENCH_local.json)
 #   alongside the human-readable console lines. Committed snapshots record
 #   the trajectory across PRs — BENCH_PR1.json (lockstep/oracle zero-alloc
-#   baseline), BENCH_PR2.json (live-engine batching + engine Reset reuse,
-#   with explicit before/after numbers) — and future PRs diff against them
-#   with benchstat or jq, e.g.:
+#   baseline), BENCH_PR2.json (live-engine batching + engine Reset reuse),
+#   BENCH_PR3.json (value-indexed sharded node state: the σ-scaling table
+#   from `make bench-selectivity`) — and future PRs diff against them with
+#   benchstat or jq, e.g.:
 #     jq -r 'select(.Action=="output") | .Output' BENCH_PR2.json | grep Benchmark
 #   `make bench-smoke` is the CI-speed variant (one iteration per
 #   benchmark, alloc regressions still fail loudly via the *Allocs tests).
+#   `make bench-selectivity` reruns only BenchmarkSweepSelectivity — the
+#   σ-vs-n scaling of the value-indexed Sweep/Collect — into $(BENCH_SEL_OUT).
 #
 # `make check` = build + fmt-check + vet + test, the same gate CI runs.
 
 GO ?= go
 BENCHTIME ?= 300ms
 BENCH_OUT ?= BENCH_local.json
+BENCH_SEL_OUT ?= BENCH_local_selectivity.json
 
-.PHONY: all build fmt-check vet test check bench bench-smoke
+.PHONY: all build fmt-check vet test check bench bench-smoke bench-selectivity
 
 all: check
 
@@ -51,3 +56,14 @@ bench:
 # bench-smoke is the CI-speed variant: one iteration per benchmark.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem .
+
+# bench-selectivity emits the σ-scaling table of the value-indexed engines
+# (BenchmarkSweepSelectivity: collect/sweep latency vs σ at fixed n, vs n at
+# fixed σ, and the full-scan fallbacks) as test2json into $(BENCH_SEL_OUT).
+# The committed snapshot of this table — annotated with environment and
+# before/after context — is BENCH_PR3.json. See BENCH.md.
+bench-selectivity:
+	$(GO) test -run='^$$' -bench='^BenchmarkSweepSelectivity$$' -benchmem \
+		-benchtime=$(BENCHTIME) -json . > $(BENCH_SEL_OUT)
+	@grep -o '"Output":"Benchmark[^"]*"' $(BENCH_SEL_OUT) | sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//'
+	@echo "wrote $(BENCH_SEL_OUT)"

@@ -1,5 +1,5 @@
 // The root benchmarks regenerate every reproduction experiment
-// (one Benchmark per table/claim, E1–E11; see DESIGN.md §5 and
+// (one Benchmark per table/claim, E1–E12; see DESIGN.md §5 and
 // EXPERIMENTS.md) plus micro-benchmarks of the communication primitives.
 //
 // Run with: go test -bench=. -benchmem
@@ -54,6 +54,8 @@ func BenchmarkE9PhaseAblation(b *testing.B)    { benchExperiment(b, "E9", 1) }
 func BenchmarkE10Compliance(b *testing.B)      { benchExperiment(b, "E10", 1) }
 func BenchmarkE11SweepAblation(b *testing.B)   { benchExperiment(b, "E11", 1) }
 
+func BenchmarkE12Selectivity(b *testing.B) { benchExperiment(b, "E12", 1) }
+
 func BenchmarkE1ExistenceParallel(b *testing.B)      { benchExperiment(b, "E1", 0) }
 func BenchmarkE8EpsilonSavingsParallel(b *testing.B) { benchExperiment(b, "E8", 0) }
 func BenchmarkE11SweepAblationParallel(b *testing.B) { benchExperiment(b, "E11", 0) }
@@ -91,6 +93,105 @@ func BenchmarkSweepOneViolator(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if got := e.Sweep(wire.Violating()); len(got) == 0 {
 					b.Fatal("missed violator")
+				}
+			}
+		})
+	}
+}
+
+// hotRange is the value interval isolating exp.HotCold's hot bucket (the
+// same workload experiment E12 pins deterministic visit counts on).
+var hotRange = exp.HotInterval()
+
+// BenchmarkSweepSelectivity measures how the value-indexed engines' scan
+// cost follows the plausible-matcher count σ instead of n (the ROADMAP
+// "sharded server state" item; BENCH_PR3.json records the trajectory):
+//
+//   - collect/n=…/σ=… — latency grows with σ at fixed n and stays
+//     near-flat in n at fixed σ;
+//   - sweep-hit/… — an EXISTENCE sweep whose predicate interval isolates
+//     the σ hot nodes: only they flip coins;
+//   - sweep-quiet-indexed/… — a matchless interval sweep: the index makes
+//     all γ+1 rounds free, where the state-decided fallback
+//     (sweep-quiet-fallback, = the violation sweep of a quiet step) still
+//     scans all n nodes per round.
+//
+// All variants must stay at 0 allocs/op — the index and its candidate
+// scratch are engine-owned and reused.
+func BenchmarkSweepSelectivity(b *testing.B) {
+	const nFixed = 4096
+	mk := func(n, sigma int) *lockstep.Engine {
+		e := lockstep.New(n, 1)
+		vals := make([]int64, n)
+		exp.HotCold(vals, sigma)
+		e.Advance(vals)
+		return e
+	}
+	for _, sigma := range []int{1, 16, 256, nFixed} {
+		b.Run(fmt.Sprintf("collect/n=%d/sigma=%d", nFixed, sigma), func(b *testing.B) {
+			e := mk(nFixed, sigma)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := e.Collect(hotRange); len(got) != sigma {
+					b.Fatalf("matched %d, want %d", len(got), sigma)
+				}
+			}
+		})
+	}
+	for _, n := range []int{1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("collect/sigma=16/n=%d", n), func(b *testing.B) {
+			e := mk(n, 16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := e.Collect(hotRange); len(got) != 16 {
+					b.Fatalf("matched %d, want 16", len(got))
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("collect-fallback/n=%d", n), func(b *testing.B) {
+			e := mk(n, 16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := e.Collect(wire.HasTag(wire.TagNone)); len(got) != n {
+					b.Fatal("tag collect must match every node")
+				}
+			}
+		})
+	}
+	for _, sigma := range []int{1, 256} {
+		b.Run(fmt.Sprintf("sweep-hit/n=%d/sigma=%d", nFixed, sigma), func(b *testing.B) {
+			e := mk(nFixed, sigma)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := e.Sweep(hotRange); len(got) == 0 {
+					b.Fatal("sweep missed the hot nodes")
+				}
+			}
+		})
+	}
+	for _, n := range []int{4096, 16384} {
+		b.Run(fmt.Sprintf("sweep-quiet-indexed/n=%d", n), func(b *testing.B) {
+			e := mk(n, 16)
+			empty := wire.InRange(1<<38, 1<<39) // above every value
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := e.Sweep(empty); got != nil {
+					b.Fatal("unexpected senders")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sweep-quiet-fallback/n=%d", n), func(b *testing.B) {
+			e := mk(n, 16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := e.Sweep(wire.Violating()); got != nil {
+					b.Fatal("unexpected violators")
 				}
 			}
 		})

@@ -7,7 +7,7 @@
 //
 //	topkmon [-n 32] [-k 4] [-eps 1/8] [-steps 2000] [-workload loads]
 //	        [-monitor approx] [-seed 7] [-report 200] [-engine live]
-//	        [-repeat 1]
+//	        [-shards 0] [-repeat 1]
 //	topkmon -scenario run.json [-engine lockstep]
 //
 // With -repeat R the session runs R times on ONE engine, rewound between
@@ -49,6 +49,8 @@ func main() {
 	scenarioPath := flag.String("scenario", "", "run a JSON scenario file instead of the flag-based setup")
 	parallel := flag.Int("parallel", 0,
 		"cap OS-level parallelism (GOMAXPROCS) for the live engine's node goroutines; 0 keeps the runtime default")
+	shards := flag.Int("shards", 0,
+		"worker shards for the live engine (each owns n/m nodes and its value-bucket partition); 0 = GOMAXPROCS. Output is bit-identical for every value")
 	repeat := flag.Int("repeat", 1,
 		"run the session this many times, reusing one engine via Reset(seed+r) between runs")
 	flag.Parse()
@@ -106,7 +108,7 @@ func main() {
 	var eng cluster.Engine
 	switch *engine {
 	case "live":
-		lc := live.New(*n, *seed)
+		lc := live.New(*n, *seed, live.WithShards(*shards))
 		defer lc.Close()
 		eng = lc
 	case "lockstep":

@@ -18,11 +18,12 @@
 //
 //	internal/protocol   the paper's algorithms (the core contribution)
 //	internal/lockstep   deterministic engine (tests, experiments)
-//	internal/live       goroutine-per-node engine (bit-identical semantics)
+//	internal/live       sharded concurrent engine (bit-identical semantics)
+//	internal/vindex     value-bucket index shared by both engines
 //	internal/offline    the offline optimum OPT (greedy segmentation)
 //	internal/oracle     ground truth + output validation
 //	internal/stream     workloads and adaptive adversaries
-//	internal/sim        run harness; internal/exp: experiments E1–E11
+//	internal/sim        run harness; internal/exp: experiments E1–E12
 //	cmd/topkmon         live monitoring CLI; cmd/bench: experiment tables;
 //	cmd/tracegen        trace generation / offline pricing
 //	examples/           five runnable end-to-end scenarios
@@ -41,12 +42,23 @@
 //   - Both engines reuse their sweep buffer and double-buffer Collect
 //     results; see the ownership contract on cluster.Cluster. Inspector
 //     has ValuesInto/FiltersInto for per-step snapshots.
-//   - The live (goroutine-per-node) engine batches directives per step:
-//     reply-free mutations are deferred into a reusable batch that rides
-//     along with the next response-bearing barrier, and responses land in
-//     per-node slots — no per-directive channel round-trips, no response
-//     sorting, no steady-state allocation. See the internal/live package
-//     docs for the flush protocol.
+//   - Both engines route Sweep/Collect through a value-bucket index
+//     (internal/vindex, maintained incrementally on Advance): only the
+//     nodes plausibly matching the predicate's wire.Pred.Bounds interval
+//     are visited, so scan cost tracks the matcher count σ rather than n
+//     (BenchmarkSweepSelectivity, experiment E12, BENCH_PR3.json), with a
+//     full-scan fallback for state-decided predicates. Routing is
+//     observably invisible — byte-identical reports, counters, and coin
+//     flips (TestIndexedScanMatchesFullScan).
+//   - The live engine runs m worker shards (default GOMAXPROCS; see
+//     live.WithShards), each owning a contiguous range of nodes and its
+//     bucket partition, and batches directives per step: reply-free
+//     mutations are deferred into a reusable batch that rides along with
+//     the next response-bearing barrier; Collect/sweep matches land in
+//     per-shard report lists, Probe/snapshot replies in per-node slots —
+//     one quiet step wakes m workers instead of n goroutines, no
+//     per-directive channel round-trips, no steady-state allocation. See
+//     the internal/live package docs for the flush protocol.
 //   - Protocols reuse broadcast FilterRules (engines apply or copy rules
 //     before returning) and their set/output scratch buffers.
 //   - offline.Solve reuses envelope and solver buffers and materialises a
@@ -61,7 +73,9 @@
 // Benchmarks: `go test -bench=. -benchmem` at the repo root, or
 // `make bench` for machine-readable JSON (BENCH_*.json records the
 // trajectory across PRs: BENCH_PR1.json is the lockstep/oracle baseline,
-// BENCH_PR2.json the live-engine batching + engine-reuse deltas).
+// BENCH_PR2.json the live-engine batching + engine-reuse deltas,
+// BENCH_PR3.json the value-index σ-scaling and worker-shard deltas; see
+// BENCH.md for how to read them).
 //
 // The experiment harness fans independent trials and sweep points across
 // exp.Options.Parallelism goroutines (cmd/bench flag -parallel). Every unit

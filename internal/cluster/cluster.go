@@ -34,6 +34,22 @@
 // harness runs hundreds of trials per table cell on one engine instead of
 // constructing one per trial. The Reset property tests assert that a reset
 // engine's trace is byte-identical to a fresh engine's.
+//
+// # Selectivity of Sweep and Collect
+//
+// Both engines route Sweep and Collect through a value-bucket index
+// (internal/vindex) keyed by wire.Pred.Bounds: only nodes whose values can
+// possibly match the predicate's interval are visited, so the engines'
+// internal scan cost tracks the plausible-matcher count σ rather than n.
+// This is an implementation property with NO protocol-visible effect — the
+// model's message costs stated on each method, the report contents and id
+// order, and every coin flip are identical to a full scan (nodes outside
+// the interval could not have matched or sent). Predicates whose matches
+// depend on non-value node state — Violating (per-node filters) and HasTag
+// (tags) — and domain-covering intervals scan all nodes, the documented
+// fallback. Protocols should therefore prefer interval predicates
+// (InRange, AboveActive with a meaningful floor) when either formulation
+// is available.
 package cluster
 
 import (

@@ -1,6 +1,7 @@
 package cluster_test
 
 import (
+	"runtime"
 	"testing"
 
 	"topkmon/internal/cluster"
@@ -11,16 +12,25 @@ import (
 	"topkmon/internal/wire"
 )
 
-// engines under conformance test.
+// engines under conformance test: the lockstep reference plus the live
+// engine in its sharded configurations — one worker, two workers (the
+// smallest layout with cross-shard gather), and one worker per core (the
+// default) — so the unit-cost accounting and Reset(seed) byte-equality
+// cover every worker-shard code path.
 func engines(n int, seed uint64) map[string]func() (cluster.Engine, func()) {
+	mkLive := func(m int) func() (cluster.Engine, func()) {
+		return func() (cluster.Engine, func()) {
+			c := live.New(n, seed, live.WithShards(m))
+			return c, c.Close
+		}
+	}
 	return map[string]func() (cluster.Engine, func()){
 		"lockstep": func() (cluster.Engine, func()) {
 			return lockstep.New(n, seed), func() {}
 		},
-		"live": func() (cluster.Engine, func()) {
-			c := live.New(n, seed)
-			return c, c.Close
-		},
+		"live/m=1":   mkLive(1),
+		"live/m=2":   mkLive(2),
+		"live/m=cpu": mkLive(runtime.NumCPU()),
 	}
 }
 

@@ -1,6 +1,26 @@
-// Package live implements the cluster interface with one goroutine per
-// node communicating over channels — the protocols running on genuinely
-// concurrent "distributed" nodes.
+// Package live implements the cluster interface with genuinely concurrent
+// workers communicating over channels — the protocols running against a
+// "distributed" cluster rather than a sequential loop.
+//
+// # Worker shards
+//
+// The engine runs m ≪ n worker goroutines (m defaults to GOMAXPROCS,
+// configurable with WithShards), each owning a contiguous shard of roughly
+// n/m nodes. Model nodes are thereby decoupled from OS-level concurrency: a
+// directive that used to wake n goroutines now wakes m workers, each of
+// which executes the directive over its own nodes sequentially — the fix
+// for the n = 10⁴ step cost where every quiet step paid n channel wake-ups
+// per barrier round. One goroutine per node is the m = n special case.
+//
+// Each shard also owns a value-bucket partition (internal/vindex) over its
+// nodes, maintained incrementally as Advance directives execute: Collect
+// and EXISTENCE-sweep rounds consult wire.Pred.Bounds and visit only the
+// shard's plausible matchers, falling back to the full shard scan for
+// predicates without value bounds (Violating, HasTag) or with
+// domain-covering intervals. Server-side work per response-bearing round is
+// O(m + matches) — workers publish their matches into per-shard report
+// lists which the server concatenates in shard order — instead of scanning
+// all n response slots.
 //
 // # Batched directives
 //
@@ -8,18 +28,18 @@
 // Instead it appends directives to a pending batch and flushes the batch as
 // one barrier round: a single signal per participating worker, after which
 // each worker walks the shared batch, executes the directives addressed to
-// it in order, writes its answer into its own slot of a shared response
-// slice, and decrements an atomic countdown whose last holder wakes the
-// server. Directives that need no answer (Advance, BroadcastRule,
-// SetFilter, SetTagFilter, MaxFind*, Reset) are deferred — they ride along
-// with the next response-bearing flush (Probe, Collect, a Sweep round, or
-// an Inspector snapshot) — so a typical time step pays one barrier for
+// its shard in order, publishes replies (per-shard report lists for
+// Collect/sweep rounds; per-node slots for Probe and Inspector snapshots),
+// and decrements an atomic countdown whose last holder wakes the server.
+// Directives that need no answer (Advance, BroadcastRule, SetFilter,
+// SetTagFilter, MaxFind*, Reset) are deferred — they ride along with the
+// next response-bearing flush — so a typical time step pays one barrier for
 // Advance + the first sweep round combined instead of one per directive.
 // Per-node execution order equals call order, so deferral is semantically
 // invisible.
 //
-// The batch, the response slots, and the report slices returned by
-// Collect/Sweep are all engine-owned and reused, mirroring the lockstep
+// The batch, the report lists, the response slots, and the slices returned
+// by Collect/Sweep are all engine-owned and reused, mirroring the lockstep
 // engine's buffers: the steady state allocates nothing (asserted by
 // TestLiveStepAllocs and tracked by BenchmarkLiveStep). Report-slice
 // ownership follows the cluster.Cluster contract — a Collect result
@@ -30,15 +50,19 @@
 //
 // Semantics match the lockstep engine exactly: a flush is a synchronous
 // round (the barrier realises the model's rounds; barrier tokens are
-// simulation scaffolding and carry no message cost). Responses are gathered
-// by node-id slot, so report order is id order, and node-side randomness is
-// consumed identically, so a live run with the same seed reproduces the
-// lockstep run's counters and outputs bit for bit — asserted by the
-// cross-engine equivalence tests up to n = 10⁴.
+// simulation scaffolding and carry no message cost). Workers visit their
+// candidate nodes in ascending id order and shards cover ascending id
+// ranges, so concatenated reports are in id order; node-side randomness is
+// consumed only by matching nodes, exactly as in lockstep. A live run with
+// the same seed therefore reproduces the lockstep run's counters and
+// outputs bit for bit — for every shard count — asserted by the
+// cross-engine equivalence tests up to n = 10⁴ and the sharded conformance
+// and Reset suites.
 package live
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -47,6 +71,7 @@ import (
 	"topkmon/internal/metrics"
 	"topkmon/internal/nodecore"
 	"topkmon/internal/rngx"
+	"topkmon/internal/vindex"
 	"topkmon/internal/wire"
 )
 
@@ -91,23 +116,67 @@ type directive struct {
 	seed    uint64
 }
 
-// response is one worker's answer slot; slot i is written only by worker i
-// during a flush and read only by the server after it.
+// response is one node's answer slot for Probe and Inspector snapshots;
+// slot i is written only by the worker owning node i during a flush and
+// read only by the server after it. Collect and sweep-round replies go
+// through the per-shard report lists instead, so quiet rounds touch no
+// slots at all.
 type response struct {
-	reported bool
-	report   wire.Report
+	report wire.Report
 	// snapshot fields (Inspector scaffolding)
 	value int64
 	filt  filter.Interval
 	tag   wire.Tag
 }
 
-// Cluster is the goroutine-per-node engine.
+// shard is the node range one worker goroutine owns: the nodes themselves,
+// the value-bucket partition + routing scratch over them
+// (vindex.Router, the same routing policy the lockstep engine uses), and
+// the report list the worker publishes matches into. sweepScan caches the
+// routed scan list across one sweep's EXISTENCE rounds: values cannot
+// change mid-sweep, so rounds > 0 reuse round 0's candidates instead of
+// re-sorting them γ times.
+type shard struct {
+	base      int // id of nodes[0]; the shard covers [base, base+len(nodes))
+	nodes     []*nodecore.Node
+	router    vindex.Router
+	sweepScan []*nodecore.Node
+	out       []wire.Report // this flush's Collect/sweep replies, id order
+}
+
+// node returns the shard's node with the given absolute id.
+func (sh *shard) node(id int) *nodecore.Node { return sh.nodes[id-sh.base] }
+
+// config collects construction options.
+type config struct {
+	shards int
+}
+
+// Option configures the engine at construction.
+type Option func(*config)
+
+// WithShards sets the number of worker goroutines (shards) the engine runs.
+// Each worker owns a contiguous range of roughly n/m nodes and its own
+// value-bucket partition. Any m ≤ 0 (including the default 0) means
+// runtime.GOMAXPROCS(0); values above n are clamped to n. The shard count
+// never affects observable behaviour — outputs, counters, and coin flips
+// are bit-identical for every value (asserted by the sharded conformance
+// and equivalence tests) — it only trades goroutine parallelism against
+// wake-up cost.
+func WithShards(m int) Option {
+	return func(c *config) { c.shards = m }
+}
+
+// Cluster is the sharded concurrent engine.
 type Cluster struct {
 	n    int
+	m    int // worker (shard) count
 	ctr  *metrics.Counters
 	rng  *rngx.Source
 	maxV int64
+
+	shards   []*shard
+	workerOf []int32 // node id → owning worker index
 
 	// Pending batch. The server owns these between flushes; workers read
 	// them (and only them) during a flush. advPending coalesces repeated
@@ -130,8 +199,8 @@ type Cluster struct {
 	touchedIDs []int
 	allTouched bool
 
-	// resp holds one slot per node, indexed by id — responses arrive
-	// pre-sorted, no gather allocation or sort needed.
+	// resp holds one slot per node, indexed by id, for Probe replies and
+	// Inspector snapshots.
 	resp []response
 
 	// Report buffers mirroring the lockstep engine's ownership contract:
@@ -146,84 +215,149 @@ type Cluster struct {
 	alive bool
 }
 
-// New starts n node goroutines.
-func New(n int, seed uint64) *Cluster {
+// New starts the engine's worker goroutines over n nodes.
+func New(n int, seed uint64, opts ...Option) *Cluster {
 	if n < 1 {
 		panic("live: need at least one node")
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m := cfg.shards
+	if m <= 0 {
+		m = runtime.GOMAXPROCS(0)
+	}
+	if m > n {
+		m = n
 	}
 	root := rngx.New(seed)
 	c := &Cluster{
 		n:          n,
+		m:          m,
 		ctr:        metrics.NewCounters(),
 		rng:        root.Child(serverRNG),
 		maxV:       1,
+		shards:     make([]*shard, m),
+		workerOf:   make([]int32, n),
 		advVals:    make([]int64, n),
-		sig:        make([]chan struct{}, n),
+		sig:        make([]chan struct{}, m),
 		done:       make(chan struct{}, 1),
-		touched:    make([]bool, n),
-		touchedIDs: make([]int, 0, n),
+		touched:    make([]bool, m),
+		touchedIDs: make([]int, 0, m),
 		resp:       make([]response, n),
 		alive:      true,
 	}
-	for i := 0; i < n; i++ {
-		c.sig[i] = make(chan struct{}, 1)
-		nd := nodecore.New(i, root)
+	// Contiguous near-equal shards: the first n%m shards get one extra node.
+	q, r := n/m, n%m
+	base := 0
+	for w := 0; w < m; w++ {
+		size := q
+		if w < r {
+			size++
+		}
+		sh := &shard{
+			base:   base,
+			nodes:  make([]*nodecore.Node, size),
+			router: vindex.Router{Idx: vindex.New(base, size)},
+		}
+		for i := range sh.nodes {
+			sh.nodes[i] = nodecore.New(base+i, root)
+			c.workerOf[base+i] = int32(w)
+		}
+		c.shards[w] = sh
+		c.sig[w] = make(chan struct{}, 1)
+		base += size
 		c.wg.Add(1)
-		go c.worker(nd)
+		go c.worker(w, sh)
 	}
 	return c
 }
 
-// worker is the node goroutine: it owns its nodecore state and, once per
-// flush it participates in, executes the pending directives addressed to it
-// in batch order.
-func (c *Cluster) worker(nd *nodecore.Node) {
+// Shards returns the worker (shard) count m.
+func (c *Cluster) Shards() int { return c.m }
+
+// worker is one shard's goroutine: it owns the shard's node and index state
+// and, once per flush it participates in, executes the pending directives
+// addressed to its shard in batch order.
+func (c *Cluster) worker(w int, sh *shard) {
 	defer c.wg.Done()
-	for range c.sig[nd.ID] {
+	mine := int32(w)
+	for range c.sig[w] {
 		stop := false
-		r := &c.resp[nd.ID]
-		*r = response{}
+		sh.out = sh.out[:0]
 		for i := range c.pend {
 			d := &c.pend[i]
-			if d.target != allNodes && d.target != nd.ID {
-				continue
-			}
 			switch d.kind {
 			case dirAdvance:
-				nd.Observe(c.advVals[nd.ID])
+				for _, nd := range sh.nodes {
+					nd.Observe(c.advVals[nd.ID])
+					sh.router.Idx.Update(nd.ID, nd.Value)
+				}
 			case dirApplyRule:
-				nd.ApplyFilterRule(&c.rules[d.ruleIdx])
+				for _, nd := range sh.nodes {
+					nd.ApplyFilterRule(&c.rules[d.ruleIdx])
+				}
 			case dirSetFilter:
-				nd.SetFilter(d.iv)
+				if c.workerOf[d.target] == mine {
+					sh.node(d.target).SetFilter(d.iv)
+				}
 			case dirSetTagFilter:
-				nd.SetTag(d.tag)
-				nd.SetFilter(d.iv)
+				if c.workerOf[d.target] == mine {
+					nd := sh.node(d.target)
+					nd.SetTag(d.tag)
+					nd.SetFilter(d.iv)
+				}
 			case dirProbe:
-				r.reported = true
-				r.report = wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()}
+				if c.workerOf[d.target] == mine {
+					nd := sh.node(d.target)
+					c.resp[d.target].report = wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()}
+				}
 			case dirCollect:
-				if nd.Match(d.pred) {
-					r.reported = true
-					r.report = wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()}
+				for _, nd := range sh.router.ScanList(d.pred, sh.nodes, sh.base) {
+					if nd.Match(d.pred) {
+						sh.out = append(sh.out, wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()})
+					}
 				}
 			case dirExistRound:
-				if nd.Match(d.pred) && nd.ExistenceSend(d.round, c.n) {
-					r.reported = true
-					r.report = wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()}
+				// Candidates are stable across one sweep's rounds (values
+				// only move on Advance, which cannot interleave with a
+				// running Sweep), so only round 0 routes the predicate.
+				if d.round == 0 {
+					sh.sweepScan = sh.router.ScanList(d.pred, sh.nodes, sh.base)
+				}
+				for _, nd := range sh.sweepScan {
+					if nd.Match(d.pred) && nd.ExistenceSend(d.round, c.n) {
+						sh.out = append(sh.out, wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()})
+					}
 				}
 			case dirMaxInit:
-				nd.MaxFindInit(d.value, d.reset)
+				for _, nd := range sh.nodes {
+					nd.MaxFindInit(d.value, d.reset)
+				}
 			case dirMaxRaise:
-				nd.MaxFindRaise(d.holder, d.best)
+				for _, nd := range sh.nodes {
+					nd.MaxFindRaise(d.holder, d.best)
+				}
 			case dirMaxExclude:
-				nd.MaxFindExclude(d.holder)
+				for _, nd := range sh.nodes {
+					nd.MaxFindExclude(d.holder)
+				}
 			case dirSnapshot:
-				r.reported = true
-				r.value = nd.Value
-				r.filt = nd.Filter
-				r.tag = nd.Tag
+				for _, nd := range sh.nodes {
+					r := &c.resp[nd.ID]
+					r.value = nd.Value
+					r.filt = nd.Filter
+					r.tag = nd.Tag
+				}
 			case dirReset:
-				nd.Reset(rngx.New(d.seed))
+				// ChildSeed derivation is pure, so one root per shard
+				// rewinds every node exactly as a per-node root would.
+				root := rngx.New(d.seed)
+				for _, nd := range sh.nodes {
+					nd.Reset(root)
+				}
+				sh.router.Idx.Reset()
 			case dirStop:
 				stop = true
 			}
@@ -242,9 +376,9 @@ func (c *Cluster) worker(nd *nodecore.Node) {
 func (c *Cluster) push(d directive) {
 	if d.target == allNodes {
 		c.allTouched = true
-	} else if !c.allTouched && !c.touched[d.target] {
-		c.touched[d.target] = true
-		c.touchedIDs = append(c.touchedIDs, d.target)
+	} else if w := c.workerOf[d.target]; !c.allTouched && !c.touched[w] {
+		c.touched[w] = true
+		c.touchedIDs = append(c.touchedIDs, int(w))
 	}
 	c.pend = append(c.pend, d)
 }
@@ -260,19 +394,19 @@ func (c *Cluster) flush() {
 		return
 	}
 	if c.allTouched {
-		c.remaining.Store(int64(c.n))
+		c.remaining.Store(int64(c.m))
 		for _, ch := range c.sig {
 			ch <- struct{}{}
 		}
 	} else {
 		c.remaining.Store(int64(len(c.touchedIDs)))
-		for _, id := range c.touchedIDs {
-			c.sig[id] <- struct{}{}
+		for _, w := range c.touchedIDs {
+			c.sig[w] <- struct{}{}
 		}
 	}
 	<-c.done
-	for _, id := range c.touchedIDs {
-		c.touched[id] = false
+	for _, w := range c.touchedIDs {
+		c.touched[w] = false
 	}
 	c.touchedIDs = c.touchedIDs[:0]
 	c.allTouched = false
@@ -281,8 +415,8 @@ func (c *Cluster) flush() {
 	c.rules = c.rules[:0]
 }
 
-// Close stops all node goroutines. Pending deferred directives are executed
-// first; the cluster is unusable afterwards.
+// Close stops all worker goroutines. Pending deferred directives are
+// executed first; the cluster is unusable afterwards.
 func (c *Cluster) Close() {
 	if !c.alive {
 		return
@@ -294,10 +428,11 @@ func (c *Cluster) Close() {
 }
 
 // Reset implements cluster.Cluster: it rewinds the engine — every node, the
-// counters, and the server RNG — to the state New(n, seed) constructs,
-// keeping the goroutines, batch, and report buffers. The directive is
-// deferred like any other non-response mutation. A reset engine replays a
-// fresh engine's run bit for bit (asserted by the Reset property tests).
+// shard indexes, the counters, and the server RNG — to the state
+// New(n, seed) constructs, keeping the workers, batch, and report buffers.
+// The directive is deferred like any other non-response mutation. A reset
+// engine replays a fresh engine's run bit for bit (asserted by the Reset
+// property tests, including the sharded configurations).
 func (c *Cluster) Reset(seed uint64) {
 	root := rngx.New(seed)
 	c.ctr.Reset()
@@ -435,17 +570,20 @@ func (c *Cluster) Probe(id int) wire.Report {
 
 // Collect implements cluster.Cluster. Results alternate between two
 // engine-owned buffers, honouring the Cluster contract that a Collect
-// result survives exactly one further Collect.
+// result survives exactly one further Collect. Workers route the scan
+// through their shard's value index; the server concatenates the per-shard
+// match lists in shard order (= id order), so gather cost is O(m + matches)
+// rather than O(n).
 func (c *Cluster) Collect(p wire.Pred) []wire.Report {
 	c.count(metrics.Broadcast, wire.KindCollect)
 	c.ctr.Rounds(1)
 	c.push(directive{kind: dirCollect, target: allNodes, pred: p})
 	c.flush()
 	out := c.collectBufs[c.collectIdx][:0]
-	for i := range c.resp {
-		if c.resp[i].reported {
+	for _, sh := range c.shards {
+		for _, rep := range sh.out {
 			c.count(metrics.NodeToServer, wire.KindCollectReply)
-			out = append(out, c.resp[i].report)
+			out = append(out, rep)
 		}
 	}
 	c.collectBufs[c.collectIdx] = out
@@ -463,10 +601,10 @@ func (c *Cluster) Sweep(p wire.Pred) []wire.Report {
 		c.push(directive{kind: dirExistRound, target: allNodes, pred: p, round: r})
 		c.flush()
 		senders := c.sweepBuf[:0]
-		for i := range c.resp {
-			if c.resp[i].reported {
+		for _, sh := range c.shards {
+			for _, rep := range sh.out {
 				c.count(metrics.NodeToServer, wire.KindExistenceReport)
-				senders = append(senders, c.resp[i].report)
+				senders = append(senders, rep)
 			}
 		}
 		c.sweepBuf = senders[:0]

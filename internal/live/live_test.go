@@ -1,6 +1,7 @@
 package live
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -92,47 +93,52 @@ func TestLockstepEquivalence(t *testing.T) {
 		{"approx", func(c cluster.Cluster) protocol.Monitor { return protocol.NewApprox(c, k, e) }},
 		{"half-eps", func(c cluster.Cluster) protocol.Monitor { return protocol.NewHalfEps(c, k, e) }},
 	}
+	// Shard counts bracket the interesting layouts: one worker for all
+	// nodes, an uneven multi-shard split, and one goroutine per node. The
+	// live engine must match lockstep bit for bit in every one.
 	for _, m := range monitors {
-		t.Run(m.name, func(t *testing.T) {
-			// Generate the trace once so both engines see identical data.
-			gen := stream.NewWalk(n, 2000, 120, 1<<20, 5)
-			trace := make([][]int64, steps)
-			for i := range trace {
-				trace[i] = gen.Next(i)
-			}
-
-			runOn := func(eng cluster.Engine) ([]int, int64, map[string]int64) {
-				mon := m.make(eng)
-				for ti, vals := range trace {
-					eng.Advance(vals)
-					if ti == 0 {
-						mon.Start()
-					} else {
-						mon.HandleStep()
-					}
-					eng.EndStep()
+		for _, shards := range []int{1, 5, n} {
+			t.Run(fmt.Sprintf("%s/m=%d", m.name, shards), func(t *testing.T) {
+				// Generate the trace once so both engines see identical data.
+				gen := stream.NewWalk(n, 2000, 120, 1<<20, 5)
+				trace := make([][]int64, steps)
+				for i := range trace {
+					trace[i] = gen.Next(i)
 				}
-				snap := eng.Counters().Snapshot()
-				return mon.Output(), snap.Total(), snap.ByKind
-			}
 
-			ls := lockstep.New(n, 42)
-			lv := New(n, 42)
-			defer lv.Close()
+				runOn := func(eng cluster.Engine) ([]int, int64, map[string]int64) {
+					mon := m.make(eng)
+					for ti, vals := range trace {
+						eng.Advance(vals)
+						if ti == 0 {
+							mon.Start()
+						} else {
+							mon.HandleStep()
+						}
+						eng.EndStep()
+					}
+					snap := eng.Counters().Snapshot()
+					return mon.Output(), snap.Total(), snap.ByKind
+				}
 
-			outA, totalA, kindsA := runOn(ls)
-			outB, totalB, kindsB := runOn(lv)
+				ls := lockstep.New(n, 42)
+				lv := New(n, 42, WithShards(shards))
+				defer lv.Close()
 
-			if !reflect.DeepEqual(outA, outB) {
-				t.Errorf("outputs diverge: lockstep=%v live=%v", outA, outB)
-			}
-			if totalA != totalB {
-				t.Errorf("totals diverge: lockstep=%d live=%d", totalA, totalB)
-			}
-			if !reflect.DeepEqual(kindsA, kindsB) {
-				t.Errorf("kind counters diverge:\nlockstep=%v\nlive=%v", kindsA, kindsB)
-			}
-		})
+				outA, totalA, kindsA := runOn(ls)
+				outB, totalB, kindsB := runOn(lv)
+
+				if !reflect.DeepEqual(outA, outB) {
+					t.Errorf("outputs diverge: lockstep=%v live=%v", outA, outB)
+				}
+				if totalA != totalB {
+					t.Errorf("totals diverge: lockstep=%d live=%d", totalA, totalB)
+				}
+				if !reflect.DeepEqual(kindsA, kindsB) {
+					t.Errorf("kind counters diverge:\nlockstep=%v\nlive=%v", kindsA, kindsB)
+				}
+			})
+		}
 	}
 }
 
@@ -168,8 +174,10 @@ func TestLockstepEquivalenceLargeN(t *testing.T) {
 		return mon.Output(), snap.Total(), snap.ByKind
 	}
 
+	// Worker shards (m ≪ n) are what makes this scale bearable: one quiet
+	// step wakes 8 workers instead of 10⁴ goroutines per barrier round.
 	ls := lockstep.New(n, 271828)
-	lv := New(n, 271828)
+	lv := New(n, 271828, WithShards(8))
 	defer lv.Close()
 
 	outA, totalA, kindsA := runOn(ls)
@@ -199,24 +207,73 @@ func TestLiveStepAllocs(t *testing.T) {
 	for ti := range steps {
 		steps[ti] = gen.Next(ti)
 	}
-	eng := New(n, 5)
-	defer eng.Close()
-	mon := protocol.NewApprox(eng, k, e)
-	eng.Advance(steps[0])
-	mon.Start()
-	eng.EndStep()
-	i := 0
-	step := func() {
-		eng.Advance(steps[(i+1)%pregen])
-		mon.HandleStep()
-		eng.EndStep()
-		i++
+	// The budget must hold for every shard layout: worker-side buffers
+	// (shard indexes, candidate scratch, report lists) count too, since
+	// AllocsPerRun observes the whole process.
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("m=%d", shards), func(t *testing.T) {
+			eng := New(n, 5, WithShards(shards))
+			defer eng.Close()
+			mon := protocol.NewApprox(eng, k, e)
+			eng.Advance(steps[0])
+			mon.Start()
+			eng.EndStep()
+			i := 0
+			step := func() {
+				eng.Advance(steps[(i+1)%pregen])
+				mon.HandleStep()
+				eng.EndStep()
+				i++
+			}
+			for range 128 {
+				step()
+			}
+			if avg := testing.AllocsPerRun(400, step); avg != 0 {
+				t.Errorf("steady-state live step allocates %.2f times per step, want 0", avg)
+			}
+		})
 	}
-	for range 128 {
-		step()
+}
+
+// TestShardPartition pins the worker-shard layout contract: shards cover
+// the id space contiguously in ascending order with near-equal sizes, the
+// shard count clamps to [1, n], and every node is owned by exactly the
+// worker its id maps to.
+func TestShardPartition(t *testing.T) {
+	cases := []struct {
+		n, opt, want int
+	}{
+		{10, 3, 3}, // uneven split: sizes 4,3,3
+		{10, 100, 10} /* clamp to n */, {10, 1, 1},
+		{7, 7, 7}, // one goroutine per node
 	}
-	if avg := testing.AllocsPerRun(400, step); avg != 0 {
-		t.Errorf("steady-state live step allocates %.2f times per step, want 0", avg)
+	for _, cs := range cases {
+		c := New(cs.n, 1, WithShards(cs.opt))
+		if got := c.Shards(); got != cs.want {
+			t.Errorf("n=%d WithShards(%d): Shards() = %d, want %d", cs.n, cs.opt, got, cs.want)
+		}
+		next := 0
+		for w, sh := range c.shards {
+			if sh.base != next {
+				t.Errorf("shard %d base = %d, want %d (contiguous ascending)", w, sh.base, next)
+			}
+			if len(sh.nodes) < cs.n/cs.want || len(sh.nodes) > cs.n/cs.want+1 {
+				t.Errorf("shard %d size = %d, want near-equal split of %d/%d", w, len(sh.nodes), cs.n, cs.want)
+			}
+			for i, nd := range sh.nodes {
+				if nd.ID != sh.base+i {
+					t.Errorf("shard %d node %d has id %d", w, i, nd.ID)
+				}
+				if int(c.workerOf[nd.ID]) != w {
+					t.Errorf("workerOf[%d] = %d, want %d", nd.ID, c.workerOf[nd.ID], w)
+				}
+			}
+			next += len(sh.nodes)
+		}
+		if next != cs.n {
+			t.Errorf("shards cover %d ids, want %d", next, cs.n)
+		}
+		c.Close()
 	}
 }
 

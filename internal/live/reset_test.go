@@ -2,6 +2,7 @@ package live
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -57,14 +58,21 @@ func TestResetMatchesFresh(t *testing.T) {
 	warmTrace := makeTrace(n, steps, 3)
 	runTrace := makeTrace(n, steps, 9)
 
+	// Reset must rewind every sharded layout identically: the shard value
+	// indexes and per-shard report lists are part of the state it covers.
+	mkLive := func(m int) func(seed uint64) (cluster.Engine, func()) {
+		return func(seed uint64) (cluster.Engine, func()) {
+			c := New(n, seed, WithShards(m))
+			return c, c.Close
+		}
+	}
 	engines := map[string]func(seed uint64) (cluster.Engine, func()){
 		"lockstep": func(seed uint64) (cluster.Engine, func()) {
 			return lockstep.New(n, seed), func() {}
 		},
-		"live": func(seed uint64) (cluster.Engine, func()) {
-			c := New(n, seed)
-			return c, c.Close
-		},
+		"live/m=1":   mkLive(1),
+		"live/m=2":   mkLive(2),
+		"live/m=cpu": mkLive(runtime.NumCPU()),
 	}
 	for name, mk := range engines {
 		t.Run(name, func(t *testing.T) {
@@ -97,8 +105,12 @@ func TestResetIsFullRewind(t *testing.T) {
 	const n = 8
 	engines := map[string]func() (cluster.Engine, func()){
 		"lockstep": func() (cluster.Engine, func()) { return lockstep.New(n, 5), func() {} },
-		"live": func() (cluster.Engine, func()) {
-			c := New(n, 5)
+		"live/m=1": func() (cluster.Engine, func()) {
+			c := New(n, 5, WithShards(1))
+			return c, c.Close
+		},
+		"live/m=2": func() (cluster.Engine, func()) {
+			c := New(n, 5, WithShards(2))
 			return c, c.Close
 		},
 	}

@@ -1,0 +1,179 @@
+package lockstep
+
+import (
+	"reflect"
+	"testing"
+
+	"topkmon/internal/eps"
+	"topkmon/internal/filter"
+	"topkmon/internal/rngx"
+	"topkmon/internal/wire"
+)
+
+// adversarial value distributions for the index: the shapes that stress the
+// bucket coarsening hardest.
+func distributions(n int, r *rngx.Source) map[string]func() []int64 {
+	return map[string]func() []int64{
+		"random": func() []int64 {
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = r.Int63n(1 << 30)
+			}
+			return vals
+		},
+		"all-equal": func() []int64 { // every node in ONE bucket
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = 4711
+			}
+			return vals
+		},
+		"one-hot-bucket": func() []int64 { // dense cluster + sparse rest
+			vals := make([]int64, n)
+			for i := range vals {
+				if i%8 == 0 {
+					vals[i] = r.Int63n(eps.MaxValue)
+				} else {
+					vals[i] = (1 << 20) + r.Int63n(1<<19) // all in bucket 21
+				}
+			}
+			return vals
+		},
+		"bucket-boundaries": func() []int64 { // 2^k-1 / 2^k straddles
+			vals := make([]int64, n)
+			for i := range vals {
+				k := uint(1 + r.Intn(38))
+				vals[i] = int64(1)<<k - r.Int63n(2)
+			}
+			return vals
+		},
+		"all-zero": func() []int64 { return make([]int64, n) },
+	}
+}
+
+// randomPred draws predicates covering every routing path: interval
+// predicates (indexed), empty and out-of-range intervals, max-find
+// predicates (necessary-only bounds), and the full-scan fallbacks.
+func randomPred(r *rngx.Source) wire.Pred {
+	switch r.Intn(6) {
+	case 0: // in-range, possibly matching
+		lo := r.Int63n(1 << 30)
+		return wire.InRange(lo, lo+r.Int63n(1<<28))
+	case 1: // empty interval
+		return wire.InRange(9, 3)
+	case 2: // above all values: no matches through the index
+		return wire.InRange(eps.MaxValue-5, eps.MaxValue)
+	case 3:
+		return wire.AboveActive(r.Int63n(1 << 30))
+	case 4:
+		return wire.Violating()
+	default:
+		return wire.HasTag(wire.Tag(r.Intn(int(wire.NumTags))))
+	}
+}
+
+// TestIndexedScanMatchesFullScan is the predicate-bounds correctness
+// property test: for random predicates over adversarial value
+// distributions, the index-routed Sweep/Collect must return byte-identical
+// reports — and identical counters, i.e. identical messages and coin
+// flips — to the full scan. Two same-seeded engines run in lockstep, one
+// with the index force-disabled.
+func TestIndexedScanMatchesFullScan(t *testing.T) {
+	const n, rounds = 133, 80
+	for name := range distributions(n, rngx.New(0)) {
+		t.Run(name, func(t *testing.T) {
+			r := rngx.New(911)
+			dist := distributions(n, r)[name]
+			indexed := New(n, 5)
+			fullScan := New(n, 5)
+			fullScan.disableIndex = true
+
+			step := func(f func(e *Engine) any) {
+				t.Helper()
+				a, b := f(indexed), f(fullScan)
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("indexed/full-scan diverge:\nindexed  %v\nfullscan %v", a, b)
+				}
+			}
+
+			for round := 0; round < rounds; round++ {
+				vals := dist()
+				indexed.Advance(vals)
+				fullScan.Advance(vals)
+
+				// Occasionally dirty non-value state the fallbacks depend on.
+				if round%5 == 1 {
+					id := r.Intn(n)
+					iv := filter.Make(r.Int63n(1<<20), 1<<21)
+					tg := wire.Tag(r.Intn(int(wire.NumTags)))
+					indexed.SetTagFilter(id, tg, iv)
+					fullScan.SetTagFilter(id, tg, iv)
+				}
+				if round%7 == 2 {
+					floor := r.Int63n(1 << 29)
+					indexed.MaxFindInit(floor, round%14 == 2)
+					fullScan.MaxFindInit(floor, round%14 == 2)
+				}
+
+				p := randomPred(r)
+				step(func(e *Engine) any { return append([]wire.Report(nil), e.Collect(p)...) })
+				step(func(e *Engine) any { return append([]wire.Report(nil), e.Sweep(p)...) })
+				if round%3 == 0 {
+					e11 := func(e *Engine) any {
+						e.DirectReports = true
+						out := append([]wire.Report(nil), e.Sweep(p)...)
+						e.DirectReports = false
+						return out
+					}
+					step(e11)
+				}
+				step(func(e *Engine) any {
+					rep, ok := e.DetectViolation()
+					return []any{rep, ok}
+				})
+				indexed.EndStep()
+				fullScan.EndStep()
+			}
+
+			a := indexed.Counters().Snapshot()
+			b := fullScan.Counters().Snapshot()
+			if a.Total() != b.Total() || !reflect.DeepEqual(a.ByKind, b.ByKind) {
+				t.Fatalf("counters diverge:\nindexed  total=%d kinds=%v\nfullscan total=%d kinds=%v",
+					a.Total(), a.ByKind, b.Total(), b.ByKind)
+			}
+		})
+	}
+}
+
+// TestIndexVisitsTrackSelectivity pins the point of the index: a Collect
+// whose value interval isolates a few nodes must visit far fewer node
+// structs than n, while the full-scan fallbacks keep visiting all of them.
+func TestIndexVisitsTrackSelectivity(t *testing.T) {
+	const n = 1024
+	e := New(n, 3)
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = 1 << 10 // everyone cold in bucket 11
+	}
+	// Four hot nodes, alone in their magnitude class.
+	for _, i := range []int{5, 100, 600, 1023} {
+		vals[i] = 1 << 30
+	}
+	e.Advance(vals)
+
+	before := e.VisitedNodes()
+	reps := e.Collect(wire.InRange(1<<29, 1<<31))
+	visited := e.VisitedNodes() - before
+	if len(reps) != 4 {
+		t.Fatalf("collect found %d hot nodes, want 4", len(reps))
+	}
+	if visited != 4 {
+		t.Errorf("indexed collect visited %d nodes, want exactly the 4 candidates", visited)
+	}
+
+	before = e.VisitedNodes()
+	e.Collect(wire.HasTag(wire.TagNone))
+	if visited := e.VisitedNodes() - before; visited != n {
+		t.Errorf("tag collect (fallback) visited %d nodes, want %d", visited, n)
+	}
+}

@@ -4,6 +4,16 @@
 // substrate for unit tests, property tests, and the experiment harness,
 // and is — by construction — exactly the synchronous unit-cost model of
 // Section 2.
+//
+// The engine keeps a value-bucket index (internal/vindex) over its nodes,
+// maintained incrementally on Advance: predicate-routed primitives (Sweep,
+// Collect) visit only the nodes whose values can match the predicate's
+// wire.Pred.Bounds interval, so their step cost tracks the number of
+// plausible matchers instead of n. Predicates without value bounds
+// (Violating, HasTag) and domain-covering intervals fall back to the full
+// scan. Routing is invisible to protocols: reports stay in id order, only
+// matching nodes consume randomness, and messages are counted identically —
+// asserted byte-for-byte by TestIndexedScanMatchesFullScan.
 package lockstep
 
 import (
@@ -14,6 +24,7 @@ import (
 	"topkmon/internal/metrics"
 	"topkmon/internal/nodecore"
 	"topkmon/internal/rngx"
+	"topkmon/internal/vindex"
 	"topkmon/internal/wire"
 )
 
@@ -23,6 +34,18 @@ type Engine struct {
 	ctr   *metrics.Counters
 	rng   *rngx.Source
 	maxV  int64 // running Δ for message-size accounting
+
+	// router holds the value-bucket index over the nodes (maintained on
+	// Advance) and the scratch that turns predicate bounds into id-ordered
+	// scan lists. visited counts the node structs predicate-routed
+	// primitives actually touched — the observable the index shrinks from
+	// n per round to the plausible-matcher count (reported by E12).
+	router  vindex.Router
+	visited int64
+
+	// disableIndex forces the full-scan path everywhere; white-box test
+	// hook for the index equivalence property tests, never set otherwise.
+	disableIndex bool
 
 	// sweepBuf backs the slices returned by Sweep/directSweep; collectBufs
 	// double-buffer Collect so protocols holding one Collect result across
@@ -51,10 +74,11 @@ func New(n int, seed uint64) *Engine {
 	}
 	root := rngx.New(seed)
 	e := &Engine{
-		nodes: make([]*nodecore.Node, n),
-		ctr:   metrics.NewCounters(),
-		rng:   root.Child(serverRNG),
-		maxV:  1,
+		nodes:  make([]*nodecore.Node, n),
+		ctr:    metrics.NewCounters(),
+		rng:    root.Child(serverRNG),
+		maxV:   1,
+		router: vindex.Router{Idx: vindex.New(0, n)},
 	}
 	for i := range e.nodes {
 		e.nodes[i] = nodecore.New(i, root)
@@ -75,6 +99,8 @@ func (e *Engine) Reset(seed uint64) {
 	e.ctr.Reset()
 	e.rng.Reseed(root.ChildSeed(serverRNG))
 	e.maxV = 1
+	e.router.Idx.Reset()
+	e.visited = 0
 	e.DirectReports = false
 }
 
@@ -99,6 +125,7 @@ func (e *Engine) Advance(values []int64) {
 			panic(fmt.Sprintf("lockstep: value %d for node %d outside [0, %d]", v, i, eps.MaxValue))
 		}
 		nd.Observe(v)
+		e.router.Idx.Update(i, v)
 		if v > e.maxV {
 			e.maxV = v
 		}
@@ -151,6 +178,24 @@ func (e *Engine) Tags() []wire.Tag {
 // interfaces and never used by protocols.
 func (e *Engine) Node(i int) *nodecore.Node { return e.nodes[i] }
 
+// VisitedNodes returns the cumulative number of node structs the
+// predicate-routed primitives (Sweep, DetectViolation, Collect) have
+// touched since construction or the last Reset — per sweep round, the size
+// of the scan list. Simulation scaffolding for measuring the value index's
+// selectivity (experiment E12); it is not message accounting and not part
+// of the cluster interfaces.
+func (e *Engine) VisitedNodes() int64 { return e.visited }
+
+// scanList returns the nodes a predicate-routed primitive must visit, in
+// ascending id order — vindex.Router.ScanList (the routing policy shared
+// with the live engine's shards) behind the test-only disableIndex toggle.
+func (e *Engine) scanList(p wire.Pred) []*nodecore.Node {
+	if e.disableIndex {
+		return e.nodes
+	}
+	return e.router.ScanList(p, e.nodes, 0)
+}
+
 func (e *Engine) count(ch metrics.Channel, k wire.Kind) {
 	e.ctr.Count(ch, k.String(), wire.MsgBits(k, len(e.nodes), e.maxV))
 }
@@ -189,12 +234,17 @@ func (e *Engine) Probe(id int) wire.Report {
 
 // Collect implements cluster.Cluster. Results alternate between two
 // engine-owned buffers, honouring the Cluster contract that a Collect result
-// survives exactly one further Collect.
+// survives exactly one further Collect. The scan is routed through the value
+// index when the predicate exposes bounds, so server-side work tracks the
+// plausible matchers, not n; the message cost (1 broadcast + 1 per match) is
+// identical either way.
 func (e *Engine) Collect(p wire.Pred) []wire.Report {
 	e.count(metrics.Broadcast, wire.KindCollect)
 	e.ctr.Rounds(1)
 	out := e.collectBufs[e.collectIdx][:0]
-	for _, nd := range e.nodes {
+	scan := e.scanList(p)
+	e.visited += int64(len(scan))
+	for _, nd := range scan {
 		if nd.Match(p) {
 			e.count(metrics.NodeToServer, wire.KindCollectReply)
 			out = append(out, wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()})
@@ -213,11 +263,15 @@ func (e *Engine) Sweep(p wire.Pred) []wire.Report {
 	if e.DirectReports {
 		return e.directSweep(p)
 	}
+	// The candidate list is stable across the sweep's rounds: values only
+	// change on Advance, which cannot interleave with a running sweep.
+	scan := e.scanList(p)
 	gamma := nodecore.ExistenceRounds(len(e.nodes))
 	for r := 0; r <= gamma; r++ {
 		e.ctr.Rounds(1)
+		e.visited += int64(len(scan))
 		senders := e.sweepBuf[:0]
-		for _, nd := range e.nodes {
+		for _, nd := range scan {
 			if nd.Match(p) && nd.ExistenceSend(r, len(e.nodes)) {
 				e.count(metrics.NodeToServer, wire.KindExistenceReport)
 				senders = append(senders, wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()})
@@ -238,7 +292,9 @@ func (e *Engine) Sweep(p wire.Pred) []wire.Report {
 func (e *Engine) directSweep(p wire.Pred) []wire.Report {
 	e.ctr.Rounds(1)
 	senders := e.sweepBuf[:0]
-	for _, nd := range e.nodes {
+	scan := e.scanList(p)
+	e.visited += int64(len(scan))
+	for _, nd := range scan {
 		if nd.Match(p) {
 			e.count(metrics.NodeToServer, wire.KindExistenceReport)
 			senders = append(senders, wire.Report{ID: nd.ID, Value: nd.Value, Dir: nd.Violation()})

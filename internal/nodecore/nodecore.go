@@ -12,6 +12,12 @@
 // given root source, so engine Reset (trial reuse in the experiment
 // harness) allocates nothing on the node side. Handlers never allocate —
 // the per-step zero-allocation budget of both engines rests on that.
+//
+// Value-mutation contract: Observe and Reset are the ONLY operations that
+// change Node.Value. The engines rely on this to keep their value-bucket
+// indexes (internal/vindex) consistent — they re-index a node exactly at
+// those two points — so any new mutation of Value must notify the owning
+// engine's index as well.
 package nodecore
 
 import (

@@ -14,6 +14,7 @@ package wire
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
 	"topkmon/internal/filter"
@@ -130,6 +131,30 @@ type Pred struct {
 	X    int64
 	Y    int64
 	Tag  Tag
+}
+
+// Bounds returns the value interval a matching node's value must lie in —
+// the contract the engines' value-bucket routing is built on (see
+// internal/vindex): when ok is true, a node whose value is outside [lo, hi]
+// can never match p, so Sweep/Collect may restrict their scan to the nodes
+// plausibly in range. The interval is a NECESSARY condition only —
+// candidates still need a per-node Match (bucket routing visits supersets,
+// and PredAboveActive additionally requires max-find activity). ok is false
+// for predicates decided by non-value node state — PredViolating (per-node
+// filters) and PredHasTag (tags) — for which engines fall back to the full
+// node scan.
+func (p Pred) Bounds() (lo, hi int64, ok bool) {
+	switch p.Kind {
+	case PredInRange:
+		return p.X, p.Y, true
+	case PredAboveActive:
+		if p.X == math.MaxInt64 {
+			return 1, 0, true // nothing exceeds X: empty interval
+		}
+		return p.X + 1, math.MaxInt64, true
+	default:
+		return 0, math.MaxInt64, false
+	}
 }
 
 // Violating returns the violation predicate.

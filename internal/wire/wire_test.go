@@ -93,6 +93,33 @@ func TestPredConstructors(t *testing.T) {
 	}
 }
 
+// TestPredBounds pins the value-interval contract the engines' index
+// routing relies on: the interval must be a NECESSARY condition (a value
+// outside it never matches), and ok=false exactly for the state-decided
+// predicates.
+func TestPredBounds(t *testing.T) {
+	if lo, hi, ok := InRange(30, 50).Bounds(); !ok || lo != 30 || hi != 50 {
+		t.Errorf("InRange bounds = [%d,%d] ok=%v", lo, hi, ok)
+	}
+	if lo, _, ok := AboveActive(7).Bounds(); !ok || lo != 8 {
+		t.Errorf("AboveActive bounds lo = %d ok=%v", lo, ok)
+	}
+	// AboveActive(-1) (FindMax's unbounded first run) must yield a bound
+	// starting at 0 — the engines treat it as the full-scan fallback.
+	if lo, _, ok := AboveActive(-1).Bounds(); !ok || lo != 0 {
+		t.Errorf("AboveActive(-1) lo = %d ok=%v", lo, ok)
+	}
+	if lo, hi, ok := AboveActive(1<<63 - 1).Bounds(); !ok || lo <= hi {
+		t.Errorf("AboveActive(max) must be an empty interval, got [%d,%d]", lo, hi)
+	}
+	if _, _, ok := Violating().Bounds(); ok {
+		t.Error("Violating must not expose bounds (filter-decided)")
+	}
+	if _, _, ok := HasTag(TagV2).Bounds(); ok {
+		t.Error("HasTag must not expose bounds (tag-decided)")
+	}
+}
+
 func TestMsgBitsWithinModelBound(t *testing.T) {
 	// The model allows c·(log n + log Δ) bits; check a generous c.
 	const c = 24

@@ -16,14 +16,15 @@
 #   `make bench-selectivity` reruns only BenchmarkSweepSelectivity — the
 #   σ-vs-n scaling of the value-indexed Sweep/Collect — into $(BENCH_SEL_OUT).
 #
-# `make check` = build + fmt-check + vet + test, the same gate CI runs.
+# `make check` = build + fmt-check + vet + api-check + test, the same gate
+# CI runs.
 
 GO ?= go
 BENCHTIME ?= 300ms
 BENCH_OUT ?= BENCH_local.json
 BENCH_SEL_OUT ?= BENCH_local_selectivity.json
 
-.PHONY: all build fmt-check vet test check bench bench-smoke bench-selectivity
+.PHONY: all build fmt-check vet api-check test check bench bench-smoke bench-selectivity
 
 all: check
 
@@ -40,14 +41,28 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# api-check enforces the public-API boundary: cmd/ and examples/ consume
+# the embeddable topk package and must not import internal/... directly.
+api-check:
+	@leaks=$$($(GO) list -f '{{.ImportPath}}: {{join .Imports " "}}' ./cmd/... ./examples/... \
+		| grep 'topkmon/internal' || true); \
+	if [ -n "$$leaks" ]; then \
+		echo "internal imports leaked into public entry points:"; \
+		echo "$$leaks"; exit 1; \
+	fi
+
 test:
 	$(GO) test ./...
 
-check: build fmt-check vet test
+check: build fmt-check vet api-check test
 
 # bench runs the full root benchmark suite and captures machine-readable
 # JSON (test2json event stream) in $(BENCH_OUT) alongside the human-readable
-# console output — the format future PRs diff with benchstat / jq.
+# console output — the format future PRs diff with benchstat / jq. Every
+# run is stamped with a "bench-env:" line (TestMain in benchenv_test.go)
+# recording go version, GOOS/GOARCH, GOMAXPROCS, NumCPU, and the live
+# engine's default worker-shard count, so multi-core claims stay
+# attributable when CI hardware changes.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json . > $(BENCH_OUT)
 	@grep -o '"Output":"Benchmark[^"]*"' $(BENCH_OUT) | sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//'

@@ -21,6 +21,7 @@ import (
 	"topkmon/internal/sim"
 	"topkmon/internal/stream"
 	"topkmon/internal/wire"
+	"topkmon/topk"
 )
 
 // benchExperiment runs one registered experiment per iteration (quick mode)
@@ -256,6 +257,53 @@ func BenchmarkMonitorStep(b *testing.B) {
 				eng.Advance(steps[(i+1)%pregen])
 				mon.HandleStep()
 				eng.EndStep()
+			}
+		})
+	}
+}
+
+// BenchmarkFacadePush measures one pushed time step through the PUBLIC
+// topk facade (n=64, k=8, drifting walk batched as one UpdateBatch per
+// step) on both engines — the embedder-visible form of
+// BenchmarkMonitorStep. 0 allocs/op is the enforced budget
+// (topk's TestFacadeStepAllocs).
+func BenchmarkFacadePush(b *testing.B) {
+	const n, k, pregen = 64, 8, 1024
+	gen := stream.NewWalk(n, 100000, 500, 1<<24, 13)
+	batches := make([][]topk.Update, pregen)
+	for t := range batches {
+		vals := gen.Next(t)
+		batches[t] = make([]topk.Update, n)
+		for i, v := range vals {
+			batches[t][i] = topk.Update{Node: i, Value: v}
+		}
+	}
+	engines := []struct {
+		name string
+		opts []topk.Option
+	}{
+		{"lockstep", nil},
+		{"live", []topk.Option{topk.WithEngine(topk.Live)}},
+	}
+	for _, eng := range engines {
+		b.Run(eng.name, func(b *testing.B) {
+			opts := append([]topk.Option{topk.WithNodes(n), topk.WithSeed(5)}, eng.opts...)
+			m, err := topk.New(k, topk.MustEpsilon(1, 8), opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			for i := 0; i < 64; i++ {
+				if err := m.UpdateBatch(batches[i%pregen]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.UpdateBatch(batches[i%pregen]); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

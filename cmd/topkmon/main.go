@@ -1,39 +1,35 @@
-// Command topkmon runs a live ε-Top-k monitoring session: one goroutine per
-// node over channels (the live engine), a chosen workload, and a chosen
-// monitoring algorithm, reporting the output set and the communication
-// spent as the stream evolves.
+// Command topkmon runs a live ε-Top-k monitoring session against the
+// public topk API: a local workload source pushes one batch of observations
+// per tick into an embeddable topk.Monitor (lockstep or live engine, any of
+// the paper's algorithms), every output is validated against the built-in
+// referee, and the communication bill is reported as the stream evolves.
+//
+// The command imports ONLY the public topk package — it is the reference
+// consumer of the embeddable API (CI enforces that no internal/ package
+// leaks into cmd/ or examples/).
 //
 // Usage:
 //
 //	topkmon [-n 32] [-k 4] [-eps 1/8] [-steps 2000] [-workload loads]
 //	        [-monitor approx] [-seed 7] [-report 200] [-engine live]
-//	        [-shards 0] [-repeat 1]
-//	topkmon -scenario run.json [-engine lockstep]
+//	        [-shards 0] [-repeat 1] [-parallel 0]
 //
-// With -repeat R the session runs R times on ONE engine, rewound between
-// sessions with Engine.Reset(seed+r) — each repetition is bit-identical to
+// With -repeat R the session runs R times on ONE monitor, rewound between
+// sessions with Monitor.Reset(seed+r) — each repetition is bit-identical to
 // a fresh process started with that seed, at none of the construction cost
-// (for the live engine: the n goroutines are started once).
+// (for the live engine: the worker goroutines are started once).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
 
-	"topkmon/internal/cluster"
-	"topkmon/internal/eps"
-	"topkmon/internal/filter"
-	"topkmon/internal/live"
-	"topkmon/internal/lockstep"
-	"topkmon/internal/metrics"
-	"topkmon/internal/oracle"
-	"topkmon/internal/protocol"
-	"topkmon/internal/scenario"
-	"topkmon/internal/stream"
+	"topkmon/topk"
 )
 
 func main() {
@@ -42,195 +38,236 @@ func main() {
 	epsStr := flag.String("eps", "1/8", "allowed error ε as a fraction p/q (0/1 = exact)")
 	steps := flag.Int("steps", 2000, "time steps to run")
 	workload := flag.String("workload", "loads", "workload: loads|walk|jumps|oscillator")
-	monitor := flag.String("monitor", "approx", "algorithm: approx|topk|exact-mid|half-eps|naive|mid-naive")
+	monitor := flag.String("monitor", "approx", "algorithm: approx|topk|exact|half-eps|naive|mid-naive")
 	seed := flag.Uint64("seed", 7, "random seed")
 	report := flag.Int("report", 200, "status line every this many steps")
 	engine := flag.String("engine", "live", "engine: live (goroutines) | lockstep")
-	scenarioPath := flag.String("scenario", "", "run a JSON scenario file instead of the flag-based setup")
 	parallel := flag.Int("parallel", 0,
-		"cap OS-level parallelism (GOMAXPROCS) for the live engine's node goroutines; 0 keeps the runtime default")
+		"cap OS-level parallelism (GOMAXPROCS) for the live engine's workers; 0 keeps the runtime default")
 	shards := flag.Int("shards", 0,
 		"worker shards for the live engine (each owns n/m nodes and its value-bucket partition); 0 = GOMAXPROCS. Output is bit-identical for every value")
 	repeat := flag.Int("repeat", 1,
-		"run the session this many times, reusing one engine via Reset(seed+r) between runs")
+		"run the session this many times, reusing one monitor via Reset(seed+r) between runs")
 	flag.Parse()
 
 	if *parallel > 0 {
 		runtime.GOMAXPROCS(*parallel)
 	}
 
-	var (
-		gen   stream.Generator
-		e     eps.Eps
-		err   error
-		mkM   func(cluster.Cluster) (protocol.Monitor, error)
-		mkGen func(seed uint64) (stream.Generator, error)
-	)
-	if *scenarioPath != "" {
-		f, ferr := os.Open(*scenarioPath)
-		if ferr != nil {
-			fail(ferr)
-		}
-		spec, serr := scenario.Parse(f)
-		f.Close()
-		if serr != nil {
-			fail(serr)
-		}
-		// Scenario files pin their own seed, so repeats replay identically.
-		mkGen = func(uint64) (stream.Generator, error) { return spec.BuildGenerator() }
-		gen, err = mkGen(0)
-		if err != nil {
-			fail(err)
-		}
-		e = spec.Eps()
-		*k = spec.K
-		*steps = spec.Steps
-		*seed = spec.Seed
-		*n = gen.N()
-		mkM = spec.BuildMonitor
-	} else {
-		e, err = parseEps(*epsStr)
-		if err != nil {
-			fail(err)
-		}
-		mkGen = func(seed uint64) (stream.Generator, error) {
-			return makeWorkload(*workload, *n, seed)
-		}
-		gen, err = mkGen(*seed)
-		if err != nil {
-			fail(err)
-		}
-		mkM = func(c cluster.Cluster) (protocol.Monitor, error) {
-			return makeMonitor(*monitor, c, *k, e)
-		}
+	e, err := parseEps(*epsStr)
+	if err != nil {
+		fail(err)
 	}
-
-	var eng cluster.Engine
+	algo, err := parseAlgo(*monitor)
+	if err != nil {
+		fail(err)
+	}
+	var engOpt topk.Option
 	switch *engine {
 	case "live":
-		lc := live.New(*n, *seed, live.WithShards(*shards))
-		defer lc.Close()
-		eng = lc
+		engOpt = topk.WithEngine(topk.Live)
 	case "lockstep":
-		eng = lockstep.New(*n, *seed)
+		engOpt = topk.WithEngine(topk.Lockstep)
 	default:
 		fail(fmt.Errorf("unknown engine %q", *engine))
 	}
 
+	m, err := topk.New(*k, e,
+		topk.WithNodes(*n), topk.WithSeed(*seed), engOpt,
+		topk.WithShards(*shards), topk.WithMonitor(algo))
+	if err != nil {
+		fail(err)
+	}
+	defer m.Close()
+
 	for r := 0; r < *repeat; r++ {
 		sessionSeed := *seed + uint64(r)
 		if r > 0 {
-			// One engine, many sessions: Reset rewinds it to the state a
-			// fresh construction with sessionSeed would have.
-			eng.Reset(sessionSeed)
-			if gen, err = mkGen(sessionSeed); err != nil {
+			// One monitor, many sessions: Reset rewinds engine and
+			// algorithm to the state a fresh construction with sessionSeed
+			// would have.
+			if err := m.Reset(sessionSeed); err != nil {
 				fail(err)
 			}
 		}
-		mon, merr := mkM(eng)
-		if merr != nil {
-			fail(merr)
+		gen, err := makeWorkload(*workload, *n, sessionSeed)
+		if err != nil {
+			fail(err)
 		}
 		if *repeat > 1 {
 			fmt.Printf("=== session %d/%d (seed %d) ===\n", r+1, *repeat, sessionSeed)
 		}
 		fmt.Printf("topkmon: %s on %s, n=%d k=%d ε=%s engine=%s\n",
-			mon.Name(), gen.Name(), *n, *k, e, *engine)
-		runSession(eng, gen, mon, *k, e, *steps, *report)
+			m.AlgorithmName(), gen.name(), *n, *k, e, *engine)
+		runSession(m, gen, *steps, *report)
 	}
 }
 
-// runSession drives one complete monitoring session on an already-seeded
-// engine, validating every output and printing the communication summary.
-func runSession(eng cluster.Engine, gen stream.Generator, mon protocol.Monitor,
-	k int, e eps.Eps, steps, report int) {
-	adaptive, _ := gen.(stream.Adaptive)
+// runSession pushes one batch per tick into the monitor, validating every
+// output and printing the communication summary.
+func runSession(m *topk.Monitor, gen *workload, steps, report int) {
 	var invalid int
-	var sc oracle.Scratch
-	var filterBuf []filter.Interval
+	n := m.N()
+	vals := make([]int64, n)
+	batch := make([]topk.Update, 0, n)
+	topBuf := make([]int, 0, m.K())
 	for t := 0; t < steps; t++ {
-		if adaptive != nil {
-			filterBuf = eng.FiltersInto(filterBuf)
-			adaptive.ObserveFilters(filterBuf, mon.Output())
+		gen.next(vals)
+		batch = batch[:0]
+		for i, v := range vals {
+			batch = append(batch, topk.Update{Node: i, Value: v})
 		}
-		vals := gen.Next(t)
-		eng.Advance(vals)
-		if t == 0 {
-			mon.Start()
-		} else {
-			mon.HandleStep()
+		if err := m.UpdateBatch(batch); err != nil {
+			fail(err)
 		}
-		truth := oracle.ComputeInto(&sc, vals, k, e)
-		if err := truth.ValidateEps(mon.Output()); err != nil {
+		if err := m.Check(); err != nil {
 			invalid++
 			fmt.Printf("step %6d: INVALID OUTPUT: %v\n", t, err)
 		}
-		eng.EndStep()
 		if report > 0 && (t+1)%report == 0 {
-			c := eng.Counters()
-			fmt.Printf("step %6d: top-%d=%v  v_k=%d  σ=%d  msgs=%d (%.3f/step)\n",
-				t+1, k, mon.Output(), truth.VK, truth.Sigma,
-				c.Total(), float64(c.Total())/float64(t+1))
+			c := m.Cost()
+			topBuf = m.TopK(topBuf)
+			fmt.Printf("step %6d: top-%d=%v  msgs=%d (%.3f/step)\n",
+				t+1, m.K(), topBuf, c.Messages, float64(c.Messages)/float64(t+1))
 		}
 	}
 
-	c := eng.Counters()
-	fmt.Printf("\nfinished %d steps; epochs=%d, invalid outputs=%d\n", steps, mon.Epochs(), invalid)
+	c := m.Cost()
+	fmt.Printf("\nfinished %d steps; epochs=%d, invalid outputs=%d\n", steps, m.Epochs(), invalid)
 	fmt.Printf("messages: total=%d  node→server=%d  unicast=%d  broadcast=%d\n",
-		c.Total(), c.ByChannel(metrics.NodeToServer),
-		c.ByChannel(metrics.ServerToNode), c.ByChannel(metrics.Broadcast))
-	fmt.Printf("max rounds/step=%d  max message bits=%d\n", c.MaxRoundsPerStep(), c.MaxBits())
-	fmt.Printf("by kind:\n")
-	for _, kind := range c.Kinds() {
-		fmt.Printf("  %-18s %d\n", kind, c.ByKind(kind))
-	}
+		c.Messages, c.NodeToServer, c.Unicasts, c.Broadcasts)
+	fmt.Printf("max rounds/step=%d  max message bits=%d\n", c.MaxRoundsPerStep, c.MaxMessageBits)
+	fmt.Printf("engine work: index fallbacks (full scans)=%d (%.3f/step)\n",
+		c.IndexFallbacks, float64(c.IndexFallbacks)/float64(steps))
 }
 
-func parseEps(s string) (eps.Eps, error) {
+func parseEps(s string) (topk.Epsilon, error) {
 	parts := strings.SplitN(s, "/", 2)
 	if len(parts) != 2 {
-		return eps.Eps{}, fmt.Errorf("eps must be p/q, got %q", s)
+		return topk.Epsilon{}, fmt.Errorf("eps must be p/q, got %q", s)
 	}
 	p, err1 := strconv.ParseInt(parts[0], 10, 64)
 	q, err2 := strconv.ParseInt(parts[1], 10, 64)
 	if err1 != nil || err2 != nil {
-		return eps.Eps{}, fmt.Errorf("eps must be p/q, got %q", s)
+		return topk.Epsilon{}, fmt.Errorf("eps must be p/q, got %q", s)
 	}
-	return eps.New(p, q)
+	return topk.NewEpsilon(p, q)
 }
 
-func makeWorkload(name string, n int, seed uint64) (stream.Generator, error) {
-	switch name {
-	case "loads":
-		return stream.NewLoads(n, 1000, 40, 0.01, 4000, 1<<20, seed+100), nil
-	case "walk":
-		return stream.NewWalk(n, 10000, 200, 1<<20, seed+100), nil
-	case "jumps":
-		return stream.NewJumps(n, 100, 100000, seed+100), nil
-	case "oscillator":
-		dense := n - n/4 - 4
-		return stream.NewOscillator(4, dense, n/4, 10000, 400, 1<<20, 100, seed+100), nil
-	default:
-		return nil, fmt.Errorf("unknown workload %q", name)
-	}
-}
-
-func makeMonitor(name string, c cluster.Cluster, k int, e eps.Eps) (protocol.Monitor, error) {
+func parseAlgo(name string) (topk.Algorithm, error) {
 	switch name {
 	case "approx":
-		return protocol.NewApprox(c, k, e), nil
+		return topk.Approx, nil
 	case "topk":
-		return protocol.NewTopKProto(c, k, e), nil
-	case "exact-mid":
-		return protocol.NewExactMid(c, k), nil
+		return topk.TopKProtocol, nil
+	case "exact", "exact-mid":
+		return topk.Exact, nil
 	case "half-eps":
-		return protocol.NewHalfEps(c, k, e), nil
+		return topk.HalfEps, nil
 	case "naive":
-		return protocol.NewNaive(c, k), nil
+		return topk.Naive, nil
 	case "mid-naive":
-		return protocol.NewMidNaive(c, k), nil
+		return topk.MidNaive, nil
 	default:
-		return nil, fmt.Errorf("unknown monitor %q", name)
+		return 0, fmt.Errorf("unknown monitor %q", name)
+	}
+}
+
+// workload is a seeded local data source: it fills a value vector per tick.
+// The CLI generates its own data (the module's workload generators are
+// simulation scaffolding under internal/); all sources are deterministic
+// per seed, so sessions replay bit for bit and the output is identical for
+// every -shards value.
+type workload struct {
+	label string
+	step  func(t int, vals []int64)
+	t     int
+}
+
+func (w *workload) name() string { return w.label }
+func (w *workload) next(vals []int64) {
+	w.step(w.t, vals)
+	w.t++
+}
+
+const maxVal = int64(1) << 20
+
+func makeWorkload(name string, n int, seed uint64) (*workload, error) {
+	rng := rand.New(rand.NewSource(int64(seed + 100)))
+	clamp := func(v int64) int64 {
+		if v < 0 {
+			return 0
+		}
+		if v > maxVal {
+			return maxVal
+		}
+		return v
+	}
+	switch name {
+	case "loads":
+		// Per-node baseline, small jitter, occasional bursts with
+		// geometric decay — web-server loads.
+		base := make([]int64, n)
+		burst := make([]int64, n)
+		for i := range base {
+			base[i] = 500 + rng.Int63n(1001)
+		}
+		return &workload{label: "loads", step: func(t int, vals []int64) {
+			for i := range vals {
+				if rng.Float64() < 0.01 {
+					burst[i] += 2000 + rng.Int63n(4001)
+				}
+				burst[i] -= burst[i] / 4
+				vals[i] = clamp(base[i] + burst[i] + rng.Int63n(81) - 40)
+			}
+		}}, nil
+	case "walk":
+		// Bounded random walk: smoothly drifting values, the friendly case
+		// for filters.
+		cur := make([]int64, n)
+		for i := range cur {
+			cur[i] = 5000 + rng.Int63n(10001)
+		}
+		return &workload{label: "walk", step: func(t int, vals []int64) {
+			for i := range cur {
+				if t > 0 {
+					cur[i] = clamp(cur[i] + rng.Int63n(401) - 200)
+				}
+				vals[i] = cur[i]
+			}
+		}}, nil
+	case "jumps":
+		// Fresh uniform values every tick: the hostile regime where
+		// filters barely help.
+		return &workload{label: "jumps", step: func(t int, vals []int64) {
+			for i := range vals {
+				vals[i] = 100 + rng.Int63n(100000-99)
+			}
+		}}, nil
+	case "oscillator":
+		// A few clear leaders, many nodes oscillating around the k-th
+		// value, the rest clearly below — the paper's noise scenario.
+		top, low := 4, n/4
+		dense := n - top - low
+		if dense < 0 {
+			dense = 0
+		}
+		return &workload{label: "oscillator", step: func(t int, vals []int64) {
+			i := 0
+			for j := 0; j < top && i < len(vals); j++ {
+				vals[i] = clamp(100000 + rng.Int63n(401))
+				i++
+			}
+			for j := 0; j < dense && i < len(vals); j++ {
+				vals[i] = clamp(10000 - 400 + rng.Int63n(801))
+				i++
+			}
+			for ; i < len(vals); i++ {
+				vals[i] = clamp(100 + rng.Int63n(401))
+			}
+		}}, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
 	}
 }
 

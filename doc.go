@@ -16,6 +16,8 @@
 //
 // Layout:
 //
+//	topk                the PUBLIC embeddable API: push-based Monitor facade
+//	                    over both engines — the single supported entry point
 //	internal/protocol   the paper's algorithms (the core contribution)
 //	internal/lockstep   deterministic engine (tests, experiments)
 //	internal/live       sharded concurrent engine (bit-identical semantics)
@@ -23,10 +25,16 @@
 //	internal/offline    the offline optimum OPT (greedy segmentation)
 //	internal/oracle     ground truth + output validation
 //	internal/stream     workloads and adaptive adversaries
-//	internal/sim        run harness; internal/exp: experiments E1–E12
-//	cmd/topkmon         live monitoring CLI; cmd/bench: experiment tables;
-//	cmd/tracegen        trace generation / offline pricing
-//	examples/           five runnable end-to-end scenarios
+//	internal/sim        run harness (drives runs through topk);
+//	                    internal/exp: experiments E1–E12
+//	internal/tools      internal CLIs: tools/bench (experiment tables),
+//	                    tools/tracegen (trace generation / offline pricing)
+//	cmd/topkmon         live monitoring CLI — imports only topk
+//	examples/           five runnable scenarios — import only topk
+//
+// Applications embed the topk package; cmd/ and examples/ are its reference
+// consumers, and CI (plus the topk boundary test) enforces that neither
+// imports any internal/... package.
 //
 // # Performance
 //
@@ -63,6 +71,12 @@
 //     before returning) and their set/output scratch buffers.
 //   - offline.Solve reuses envelope and solver buffers and materialises a
 //     witness only when a segment closes.
+//   - The public topk facade adds nothing on top: Update/UpdateBatch (a
+//     full pushed time step), TopK, Cost, and Check are 0 allocs/op in
+//     steady state on both engines (TestFacadeStepAllocs; tracked by
+//     BenchmarkFacadePush in the root suite and topk's own benchmarks),
+//     and a facade-driven run is byte-identical to driving the engines
+//     directly (TestFacadeEquivalence).
 //
 // Engines additionally support Reset(seed): a rewind to the exact state a
 // fresh construction with that seed would produce (byte-identical traces,
@@ -78,7 +92,9 @@
 // BENCH.md for how to read them).
 //
 // The experiment harness fans independent trials and sweep points across
-// exp.Options.Parallelism goroutines (cmd/bench flag -parallel). Every unit
+// exp.Options.Parallelism goroutines (internal/tools/bench flag -parallel;
+// every BENCH_*.json run is stamped with a bench-env line recording
+// GOMAXPROCS, NumCPU, and the live engine's default shard count). Every unit
 // of work derives its seed from its own index — never from execution
 // order — so tables are byte-identical for every worker count, asserted by
 // TestParallelRunsAreDeterministic.

@@ -1,22 +1,21 @@
-// Loadbalancer: the paper's motivating scenario — a balancer in front of a
-// web-server cluster continuously tracking the k most loaded servers, here
-// with real concurrency: every server is a goroutine (the live engine), and
-// the balancer only learns what the filter protocol tells it.
+// Loadbalancer: the paper's motivating scenario on the public topk API — a
+// balancer in front of a web-server cluster continuously tracking the k
+// most loaded servers, with real concurrency: the Live engine hosts the
+// servers' node state on 4 worker shards, and the balancer only learns what
+// the filter protocol tells it.
 //
-// The demo compares the Theorem 5.8 controller against the naive
-// report-every-change design on an identical bursty load trace.
+// The balancer reacts through Monitor.Subscribe: every committed tick that
+// changes the hot set delivers one event. The demo compares the
+// Theorem 5.8 controller against the naive report-every-change design on an
+// identical bursty load trace.
 package main
 
 import (
 	"fmt"
 	"log"
+	"math/rand"
 
-	"topkmon/internal/cluster"
-	"topkmon/internal/eps"
-	"topkmon/internal/live"
-	"topkmon/internal/oracle"
-	"topkmon/internal/protocol"
-	"topkmon/internal/stream"
+	"topkmon/topk"
 )
 
 const (
@@ -25,64 +24,78 @@ const (
 	steps   = 1500
 )
 
-func run(mkMonitor func(cluster.Cluster) protocol.Monitor, e eps.Eps, label string) int64 {
-	// Four worker shards host the 48 server goroutines' node state: each
-	// owns 12 nodes and their value-bucket partition, so a quiet tick wakes
-	// 4 workers, not 48 goroutines. The shard count never changes outputs.
-	engine := live.New(servers, 11, live.WithShards(4))
-	defer engine.Close()
-	monitor := mkMonitor(engine)
+// loadTrace pre-generates the bursty load matrix once so both monitors see
+// identical data: per-server baseline noise plus sudden hotspots that decay
+// geometrically.
+func loadTrace() [][]int64 {
+	rng := rand.New(rand.NewSource(99))
+	base := make([]int64, servers)
+	burst := make([]int64, servers)
+	for i := range base {
+		base[i] = 1000 + rng.Int63n(2001)
+	}
+	trace := make([][]int64, steps)
+	for t := range trace {
+		row := make([]int64, servers)
+		for i := range row {
+			if rng.Float64() < 0.004 {
+				burst[i] += 4000 + rng.Int63n(8001)
+			}
+			burst[i] -= burst[i] / 4
+			row[i] = base[i] + burst[i] + rng.Int63n(121) - 60
+			if row[i] < 0 {
+				row[i] = 0
+			}
+		}
+		trace[t] = row
+	}
+	return trace
+}
 
-	// Bursty loads: baseline noise plus sudden hotspots that decay.
-	gen := stream.NewLoads(servers, 2000, 60, 0.004, 8000, 1<<20, 99)
+func run(trace [][]int64, algo topk.Algorithm, e topk.Epsilon, label string) int64 {
+	// Four worker shards host the 48 servers' node state: each owns 12
+	// nodes and their value-bucket partition, so a quiet tick wakes 4
+	// workers, not 48 goroutines. The shard count never changes outputs.
+	m, err := topk.New(k, e,
+		topk.WithNodes(servers), topk.WithSeed(11),
+		topk.WithEngine(topk.Live), topk.WithShards(4),
+		topk.WithMonitor(algo))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	events := m.Subscribe()
 
 	hotSwaps := 0
-	var prev []int
-	for t := 0; t < steps; t++ {
-		values := gen.Next(t)
-		engine.Advance(values)
-		if t == 0 {
-			monitor.Start()
-		} else {
-			monitor.HandleStep()
+	batch := make([]topk.Update, servers)
+	for t, row := range trace {
+		for i, v := range row {
+			batch[i] = topk.Update{Node: i, Value: v}
 		}
-		truth := oracle.Compute(values, k, e)
-		if err := truth.ValidateEps(monitor.Output()); err != nil {
+		if err := m.UpdateBatch(batch); err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Check(); err != nil {
 			log.Fatalf("%s step %d: %v", label, t, err)
 		}
-		if !equalInts(prev, monitor.Output()) {
+		// React to hot-set changes; the balancer would re-route here.
+		for len(events) > 0 {
+			<-events
 			hotSwaps++
-			prev = append(prev[:0], monitor.Output()...)
 		}
-		engine.EndStep()
 	}
-	total := engine.Counters().Total()
+	c := m.Cost()
 	fmt.Printf("%-22s messages=%7d (%.3f/step)  hot-set changes=%d\n",
-		label, total, float64(total)/steps, hotSwaps)
-	return total
+		label, c.Messages, float64(c.Messages)/steps, hotSwaps)
+	return c.Messages
 }
 
 func main() {
 	fmt.Printf("balancer tracking top-%d of %d servers over %d ticks\n\n", k, servers, steps)
-	e := eps.MustNew(1, 10)
-	filtered := run(func(c cluster.Cluster) protocol.Monitor {
-		return protocol.NewApprox(c, k, e)
-	}, e, "approx (ε=1/10)")
-	naive := run(func(c cluster.Cluster) protocol.Monitor {
-		return protocol.NewNaive(c, k)
-	}, e, "naive report-all")
+	trace := loadTrace()
+	e := topk.MustEpsilon(1, 10)
+	filtered := run(trace, topk.Approx, e, "approx (ε=1/10)")
+	naive := run(trace, topk.Naive, e, "naive report-all")
 	fmt.Printf("\nfilter-based monitoring sent %.1fx fewer messages\n",
 		float64(naive)/float64(filtered))
-}
-
-func equalInts(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }

@@ -1,17 +1,15 @@
-// Quickstart: monitor the ε-approximate top-k of 16 drifting streams with
-// the Theorem 5.8 controller on the deterministic engine, validating every
-// output against the ground truth and printing the communication bill.
+// Quickstart: embed the public topk API. 16 drifting streams push one batch
+// per tick into a monitor running the Theorem 5.8 controller on the
+// deterministic engine; every output is validated by the built-in referee
+// and the final communication bill is printed.
 package main
 
 import (
 	"fmt"
 	"log"
+	"math/rand"
 
-	"topkmon/internal/eps"
-	"topkmon/internal/lockstep"
-	"topkmon/internal/oracle"
-	"topkmon/internal/protocol"
-	"topkmon/internal/stream"
+	"topkmon/topk"
 )
 
 func main() {
@@ -20,40 +18,53 @@ func main() {
 		k     = 3
 		steps = 1000
 	)
-	e := eps.MustNew(1, 8) // allow 12.5% slack around the k-th value
 
-	// A cluster of n simulated nodes and the monitoring algorithm.
-	engine := lockstep.New(n, 42)
-	monitor := protocol.NewApprox(engine, k, e)
+	// Allow 12.5% slack around the k-th value: marginal, noise-driven rank
+	// changes need not be communicated.
+	m, err := topk.New(k, topk.MustEpsilon(1, 8), topk.WithNodes(n), topk.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
 
 	// Streams: smooth random walks, the friendly case for filters.
-	gen := stream.NewWalk(n, 10000, 150, 1<<20, 7)
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = 5000 + rng.Int63n(10001)
+	}
 
+	batch := make([]topk.Update, n)
+	topBuf := make([]int, 0, k)
 	for t := 0; t < steps; t++ {
-		values := gen.Next(t)
-		engine.Advance(values)
-		if t == 0 {
-			monitor.Start()
-		} else {
-			monitor.HandleStep()
+		for i := range vals {
+			if t > 0 {
+				vals[i] += rng.Int63n(301) - 150
+				if vals[i] < 0 {
+					vals[i] = 0
+				}
+			}
+			batch[i] = topk.Update{Node: i, Value: vals[i]}
+		}
+		// One pushed batch = one monitored time step.
+		if err := m.UpdateBatch(batch); err != nil {
+			log.Fatal(err)
 		}
 
-		// The oracle recomputes the truth centrally — only to check the
-		// protocol; it is not part of the distributed computation.
-		truth := oracle.Compute(values, k, e)
-		if err := truth.ValidateEps(monitor.Output()); err != nil {
+		// The referee recomputes the ground truth centrally — only to check
+		// the protocol; it is not part of the distributed computation.
+		if err := m.Check(); err != nil {
 			log.Fatalf("step %d: %v", t, err)
 		}
-		engine.EndStep()
 
 		if t%250 == 0 {
-			fmt.Printf("step %4d: top-%d positions = %v (v_k = %d)\n",
-				t, k, monitor.Output(), truth.VK)
+			topBuf = m.TopK(topBuf)
+			fmt.Printf("step %4d: top-%d positions = %v\n", t, k, topBuf)
 		}
 	}
 
-	c := engine.Counters()
+	c := m.Cost()
 	fmt.Printf("\n%d steps monitored with %d messages (%.3f per step), %d epochs\n",
-		steps, c.Total(), float64(c.Total())/steps, monitor.Epochs())
+		steps, c.Messages, float64(c.Messages)/steps, m.Epochs())
 	fmt.Printf("a naive report-every-change design would have sent ~%d messages\n", n*steps)
 }

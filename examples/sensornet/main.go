@@ -1,82 +1,89 @@
-// Sensornet: the approximation pay-off. A field of sensors reports a noisy
-// measurement; many readings oscillate right around the k-th largest value,
-// which is exactly the regime the paper's ε-relaxation targets — marginal,
-// noise-driven rank changes need not be communicated.
+// Sensornet: the approximation pay-off, through the public topk API. A
+// field of sensors reports a noisy measurement; many readings oscillate
+// right around the k-th largest value, which is exactly the regime the
+// paper's ε-relaxation targets — marginal, noise-driven rank changes need
+// not be communicated.
 //
 // The demo sweeps ε and shows communication collapsing once the
 // ε-neighborhood swallows the noise amplitude, while every output remains a
-// certified ε-Top-k set.
+// certified ε-Top-k set (Monitor.Check runs every step).
 package main
 
 import (
 	"fmt"
 	"log"
+	"math/rand"
 
-	"topkmon/internal/cluster"
-	"topkmon/internal/eps"
-	"topkmon/internal/lockstep"
-	"topkmon/internal/oracle"
-	"topkmon/internal/protocol"
-	"topkmon/internal/stream"
+	"topkmon/topk"
 )
 
 const (
-	kTop  = 4
-	steps = 1200
-	base  = int64(20000) // the k-th sensor's level
-	noise = int64(600)   // ±3% measurement noise
+	kTop    = 4
+	steps   = 1200
+	sensors = 32
+	base    = int64(20000) // the k-th sensor's level
+	noise   = int64(600)   // ±3% measurement noise
 )
 
-func mkField(seed uint64) stream.Generator {
-	// 3 sensors clearly hot, 20 oscillating around base, 9 clearly cold.
-	return stream.NewOscillator(kTop-1, 20, 9, base, noise, base*50, base/50, seed)
+// field fills one tick of sensor readings: 3 sensors clearly hot, 20
+// oscillating around base, 9 clearly cold. With distinct=true the readings
+// are made pairwise distinct by an order-preserving map (the exact problem
+// assumes distinct values via identifier tie-breaking).
+func field(rng *rand.Rand, vals []int64, distinct bool) {
+	i := 0
+	for j := 0; j < kTop-1; j++ {
+		vals[i] = base*50 + rng.Int63n(noise+1)
+		i++
+	}
+	for j := 0; j < 20; j++ {
+		vals[i] = base - noise + rng.Int63n(2*noise+1)
+		i++
+	}
+	for ; i < len(vals); i++ {
+		vals[i] = base/50 + rng.Int63n(noise+1)
+	}
+	if distinct {
+		n := int64(len(vals))
+		for j := range vals {
+			vals[j] = vals[j]*n + (n - 1 - int64(j))
+		}
+	}
 }
 
-func run(e eps.Eps, exact bool) (int64, string) {
-	gen := mkField(77)
-	engine := lockstep.New(gen.N(), 3)
-	var monitor protocol.Monitor
-	if exact {
-		gen = stream.Distinct{Inner: gen} // the exact problem needs distinct values
-		engine = lockstep.New(gen.N(), 3)
-		monitor = protocol.NewExactMid(engine, kTop)
-	} else {
-		monitor = protocol.NewApprox(cluster.Cluster(engine), kTop, e)
+func run(e topk.Epsilon, algo topk.Algorithm) (int64, string) {
+	m, err := topk.New(kTop, e, topk.WithNodes(sensors), topk.WithSeed(3), topk.WithMonitor(algo))
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer m.Close()
+
+	rng := rand.New(rand.NewSource(77))
+	vals := make([]int64, sensors)
+	batch := make([]topk.Update, sensors)
 	for t := 0; t < steps; t++ {
-		values := gen.Next(t)
-		engine.Advance(values)
-		if t == 0 {
-			monitor.Start()
-		} else {
-			monitor.HandleStep()
+		field(rng, vals, algo == topk.Exact)
+		for i, v := range vals {
+			batch[i] = topk.Update{Node: i, Value: v}
 		}
-		truth := oracle.Compute(values, kTop, e)
-		var err error
-		if exact {
-			err = truth.ValidateExact(monitor.Output())
-		} else {
-			err = truth.ValidateEps(monitor.Output())
+		if err := m.UpdateBatch(batch); err != nil {
+			log.Fatal(err)
 		}
-		if err != nil {
+		if err := m.Check(); err != nil {
 			log.Fatalf("step %d: %v", t, err)
 		}
-		engine.EndStep()
 	}
-	return engine.Counters().Total(), monitor.Name()
+	return m.Cost().Messages, m.AlgorithmName()
 }
 
 func main() {
-	fmt.Printf("32 sensors, top-%d monitored for %d steps, noise ≈ ±%.1f%% of v_k\n\n",
-		kTop, steps, 100*float64(noise)/float64(base))
-	exactCost, name := run(eps.Zero, true)
+	fmt.Printf("%d sensors, top-%d monitored for %d steps, noise ≈ ±%.1f%% of v_k\n\n",
+		sensors, kTop, steps, 100*float64(noise)/float64(base))
+	exactCost, name := run(topk.Zero, topk.Exact)
 	fmt.Printf("%-18s ε=0      messages=%7d (%.2f/step)\n",
 		name, exactCost, float64(exactCost)/steps)
-	for _, e := range []eps.Eps{
-		eps.MustNew(1, 100), eps.MustNew(1, 32), eps.MustNew(1, 16),
-		eps.MustNew(1, 8), eps.MustNew(1, 4),
-	} {
-		cost, name := run(e, false)
+	for _, frac := range [][2]int64{{1, 100}, {1, 32}, {1, 16}, {1, 8}, {1, 4}} {
+		e := topk.MustEpsilon(frac[0], frac[1])
+		cost, name := run(e, topk.Approx)
 		fmt.Printf("%-18s ε=%-6s messages=%7d (%.2f/step)  %5.1fx cheaper than exact\n",
 			name, e, cost, float64(cost)/steps, float64(exactCost)/float64(cost))
 	}

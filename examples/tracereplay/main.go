@@ -1,21 +1,15 @@
-// Tracereplay: record a workload once, replay it through two monitors, and
-// price the offline optimum on the very same trace — the full
-// record/replay/compare loop a systems evaluation needs, exercising the
-// trace, sim, and offline packages end to end.
+// Tracereplay: record a workload once, replay it byte-identically through
+// two monitor configurations, and replay it again on the SAME monitor via
+// Reset — the record/replay/compare loop a systems evaluation needs,
+// entirely on the public topk API.
 package main
 
 import (
-	"bytes"
 	"fmt"
 	"log"
+	"math/rand"
 
-	"topkmon/internal/cluster"
-	"topkmon/internal/eps"
-	"topkmon/internal/offline"
-	"topkmon/internal/protocol"
-	"topkmon/internal/sim"
-	"topkmon/internal/stream"
-	"topkmon/internal/trace"
+	"topkmon/topk"
 )
 
 const (
@@ -24,63 +18,87 @@ const (
 	steps = 800
 )
 
+// record materialises a bursty load trace: per-node baseline, small jitter,
+// occasional decaying bursts.
+func record() [][]int64 {
+	rng := rand.New(rand.NewSource(33))
+	base := make([]int64, n)
+	burst := make([]int64, n)
+	for i := range base {
+		base[i] = 1000 + rng.Int63n(2001)
+	}
+	trace := make([][]int64, steps)
+	for t := range trace {
+		row := make([]int64, n)
+		for i := range row {
+			if rng.Float64() < 0.005 {
+				burst[i] += 4000 + rng.Int63n(8001)
+			}
+			burst[i] -= burst[i] / 4
+			row[i] = base[i] + burst[i] + rng.Int63n(121) - 60
+			if row[i] < 0 {
+				row[i] = 0
+			}
+		}
+		trace[t] = row
+	}
+	return trace
+}
+
+// replay pushes the recorded matrix through the monitor, one batch per
+// recorded step, validating every output.
+func replay(m *topk.Monitor, trace [][]int64) topk.Cost {
+	batch := make([]topk.Update, n)
+	for t, row := range trace {
+		for i, v := range row {
+			batch[i] = topk.Update{Node: i, Value: v}
+		}
+		if err := m.UpdateBatch(batch); err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Check(); err != nil {
+			log.Fatalf("step %d: %v", t, err)
+		}
+	}
+	return m.Cost()
+}
+
 func main() {
-	e := eps.MustNew(1, 8)
+	e := topk.MustEpsilon(1, 8)
 
-	// 1. Record: materialise a bursty load trace.
-	gen := stream.NewLoads(n, 2000, 60, 0.005, 8000, 1<<20, 33)
-	matrix := make([][]int64, steps)
-	for t := 0; t < steps; t++ {
-		matrix[t] = gen.Next(t)
-	}
-	tr, err := trace.New(matrix)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// 1. Record once; both monitors see the identical data.
+	trace := record()
+	fmt.Printf("recorded %d steps × %d nodes\n\n", steps, n)
 
-	// Round-trip through the compact binary format, as a file would.
-	var buf bytes.Buffer
-	if err := tr.WriteBinary(&buf); err != nil {
-		log.Fatal(err)
-	}
-	encodedSize := buf.Len()
-	loaded, err := trace.ReadBinary(&buf)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("recorded %d steps × %d nodes (%d bytes binary)\n\n",
-		loaded.T(), loaded.N(), encodedSize)
-
-	// 2. Replay through two monitors on the identical data.
-	run := func(name string, mk func(cluster.Cluster) protocol.Monitor) sim.Report {
-		rep, err := sim.Run(sim.Config{
-			K: k, Eps: e, Steps: loaded.T(), Seed: 5,
-			Gen:        stream.NewReplay("loads", loaded.Values),
-			NewMonitor: mk,
-			Validate:   sim.ValidateEps,
-		})
+	// 2. Replay through two monitor configurations.
+	run := func(algo topk.Algorithm) (topk.Cost, *topk.Monitor) {
+		m, err := topk.New(k, e, topk.WithNodes(n), topk.WithSeed(5), topk.WithMonitor(algo))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-18s msgs=%7d  epochs=%4d  max rounds/step=%d\n",
-			name, rep.Messages.Total(), rep.Epochs, rep.MaxRounds)
-		return rep
+		c := replay(m, trace)
+		fmt.Printf("%-18s msgs=%7d  epochs=%4d  max rounds/step=%d  index fallbacks=%d\n",
+			m.AlgorithmName(), c.Messages, m.Epochs(), c.MaxRoundsPerStep, c.IndexFallbacks)
+		return c, m
 	}
-	ap := run("approx (Thm 5.8)", func(c cluster.Cluster) protocol.Monitor {
-		return protocol.NewApprox(c, k, e)
-	})
-	run("naive report-all", func(c cluster.Cluster) protocol.Monitor {
-		return protocol.NewNaive(c, k)
-	})
+	approxCost, m := run(topk.Approx)
+	naiveCost, mn := run(topk.Naive)
+	mn.Close()
 
-	// 3. Price the offline optimum on the same trace.
-	inst, err := offline.NewInstance(loaded.Values, k, e)
-	if err != nil {
+	fmt.Printf("\nthe filter protocol sent %.1fx fewer messages on the identical trace\n",
+		float64(naiveCost.Messages)/float64(approxCost.Messages))
+
+	// 3. Rewind the first monitor and replay the trace again: Reset(seed)
+	// makes the rerun bit-identical to the first — the property replayable
+	// evaluations depend on.
+	if err := m.Reset(5); err != nil {
 		log.Fatal(err)
 	}
-	res := inst.Solve()
-	fmt.Printf("\noffline OPT: %d segments, %d breaks, realistic cost %d (σ=%d)\n",
-		len(res.Segments), res.Breaks, res.Realistic, inst.SigmaMax())
-	fmt.Printf("approx empirical competitive ratio (vs breaks LB): %.1f\n",
-		float64(ap.Messages.Total())/float64(max(1, res.Breaks)))
+	again := replay(m, trace)
+	m.Close()
+	if again != approxCost {
+		log.Fatalf("replay after Reset diverged:\nfirst  %+v\nsecond %+v", approxCost, again)
+	}
+	fmt.Printf("replay after Reset(seed): identical bill (%d messages) — runs are reproducible\n",
+		again.Messages)
 }

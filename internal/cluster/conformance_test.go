@@ -82,6 +82,39 @@ func TestConformanceMessageCosts(t *testing.T) {
 	}
 }
 
+// TestConformanceIndexFallbacks pins the engine-side full-scan accounting:
+// state-decided predicates (Violating, HasTag) and domain-covering intervals
+// bill exactly one fallback per Sweep/Collect, routable intervals none — and
+// both engines, at every shard count, agree because the decision is made
+// from the predicate alone.
+func TestConformanceIndexFallbacks(t *testing.T) {
+	for name, mk := range engines(8, 3) {
+		t.Run(name, func(t *testing.T) {
+			eng, done := mk()
+			defer done()
+			eng.Advance([]int64{10, 20, 30, 40, 50, 60, 70, 80})
+
+			eng.Sweep(wire.Violating())            // state-decided → fallback
+			eng.Collect(wire.HasTag(wire.TagNone)) // state-decided → fallback
+			eng.Collect(wire.InRange(30, 50))      // routed
+			eng.Sweep(wire.InRange(200, 300))      // routed (silent)
+			eng.MaxFindInit(-1, true)
+			eng.Collect(wire.AboveActive(-1)) // domain-covering → fallback
+
+			if got := eng.Counters().IndexFallbacks(); got != 3 {
+				t.Errorf("IndexFallbacks = %d, want 3", got)
+			}
+			if got := eng.Counters().Snapshot().IndexFallbacks; got != 3 {
+				t.Errorf("Snapshot.IndexFallbacks = %d, want 3", got)
+			}
+			eng.Reset(3)
+			if got := eng.Counters().IndexFallbacks(); got != 0 {
+				t.Errorf("Reset left IndexFallbacks = %d", got)
+			}
+		})
+	}
+}
+
 // TestConformanceSweepChannelSplit: a sweep with violators bills node
 // reports on the node→server channel plus exactly one halt broadcast.
 func TestConformanceSweepChannelSplit(t *testing.T) {

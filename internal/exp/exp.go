@@ -3,6 +3,13 @@
 // purely theoretical, so the "tables and figures" reproduced here are the
 // bound shapes its theorems assert; see DESIGN.md §5 and EXPERIMENTS.md).
 //
+// Every monitor-driven experiment runs through sim.Run, which itself
+// drives the public topk facade (push-batch ingest) — so the experiment
+// suite continuously exercises the supported public API, not a private
+// side door; the facade-equivalence tests prove the indirection
+// byte-identical to direct engine use. The primitive-level experiments
+// (E1, E2, E12) measure engine primitives directly by design.
+//
 // Experiments are deterministic given Options.Seed and scale down under
 // Options.Quick so they double as benchmark bodies in bench_test.go.
 // Independent trials and sweep points fan out across Options.Parallelism

@@ -17,7 +17,7 @@ type FigureSpec struct {
 }
 
 // figureSpecs are the reproduction's "figures" — the growth curves behind
-// each theorem, rendered from the same tables `cmd/bench` prints.
+// each theorem, rendered from the same tables `internal/tools/bench` prints.
 func figureSpecs() []FigureSpec {
 	return []FigureSpec{
 		{ExpID: "E2", Table: 0, Title: "Fig E2: FindMax messages vs n (expect ~log n)",

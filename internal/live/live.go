@@ -215,6 +215,13 @@ type Cluster struct {
 	alive bool
 }
 
+// DefaultShards returns the worker-shard policy New applies when WithShards
+// is not given (or is ≤ 0): one worker per schedulable CPU, i.e.
+// GOMAXPROCS at construction time. New additionally clamps the count to n.
+// Exported so harnesses (the bench-env stamp in the root test suite) can
+// record the actual policy instead of duplicating it.
+func DefaultShards() int { return runtime.GOMAXPROCS(0) }
+
 // New starts the engine's worker goroutines over n nodes.
 func New(n int, seed uint64, opts ...Option) *Cluster {
 	if n < 1 {
@@ -226,7 +233,7 @@ func New(n int, seed uint64, opts ...Option) *Cluster {
 	}
 	m := cfg.shards
 	if m <= 0 {
-		m = runtime.GOMAXPROCS(0)
+		m = DefaultShards()
 	}
 	if m > n {
 		m = n
@@ -577,6 +584,11 @@ func (c *Cluster) Probe(id int) wire.Report {
 func (c *Cluster) Collect(p wire.Pred) []wire.Report {
 	c.count(metrics.Broadcast, wire.KindCollect)
 	c.ctr.Rounds(1)
+	if !vindex.Routable(p) {
+		// Predicate-only decision, billed server-side so the count is
+		// bit-identical to the lockstep engine's for equal call sequences.
+		c.ctr.IndexFallback()
+	}
 	c.push(directive{kind: dirCollect, target: allNodes, pred: p})
 	c.flush()
 	out := c.collectBufs[c.collectIdx][:0]
@@ -595,6 +607,11 @@ func (c *Cluster) Collect(p wire.Pred) []wire.Report {
 // one batched barrier per probabilistic round. The returned slice is backed
 // by the engine-owned sweep buffer and recycled by the next Sweep.
 func (c *Cluster) Sweep(p wire.Pred) []wire.Report {
+	if !vindex.Routable(p) {
+		// One fallback per sweep (the scan list is routed once and reused
+		// across rounds), matching the lockstep engine's accounting.
+		c.ctr.IndexFallback()
+	}
 	gamma := nodecore.ExistenceRounds(c.n)
 	for r := 0; r <= gamma; r++ {
 		c.ctr.Rounds(1)

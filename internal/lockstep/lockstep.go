@@ -189,7 +189,14 @@ func (e *Engine) VisitedNodes() int64 { return e.visited }
 // scanList returns the nodes a predicate-routed primitive must visit, in
 // ascending id order — vindex.Router.ScanList (the routing policy shared
 // with the live engine's shards) behind the test-only disableIndex toggle.
+// Non-routable predicates bill one full-scan fallback on the counters; the
+// decision is predicate-only, so the live engine counts identically and the
+// test-only disableIndex toggle never perturbs the count.
 func (e *Engine) scanList(p wire.Pred) []*nodecore.Node {
+	if !vindex.Routable(p) {
+		e.ctr.IndexFallback()
+		return e.nodes
+	}
 	if e.disableIndex {
 		return e.nodes
 	}

@@ -53,6 +53,16 @@ type Counters struct {
 
 	// maxBits tracks the largest message observed, for the size bound.
 	maxBits int
+
+	// indexFallbacks counts predicate-routed primitives (Sweep, Collect)
+	// that had to take the full node scan because the predicate exposes no
+	// usable value interval (wire.Pred.Bounds ok=false — Violating, HasTag —
+	// or a domain-covering interval). It is engine-side work accounting, not
+	// message cost: both engines count identically (the decision is made
+	// from the predicate alone), so cross-engine equivalence is preserved.
+	// The ROADMAP "index the violation sweep" item becomes measurable
+	// through this counter before it is fixed.
+	indexFallbacks int64
 }
 
 // NewCounters returns an empty counter set.
@@ -71,6 +81,7 @@ func (c *Counters) Reset() {
 	c.maxRoundsStep = 0
 	c.steps = 0
 	c.maxBits = 0
+	c.indexFallbacks = 0
 }
 
 // Count records one message on channel c of the named kind with the given
@@ -89,6 +100,14 @@ func (c *Counters) Count(ch Channel, kind string, bitSize int) {
 // Rounds records that the current time step consumed r additional protocol
 // rounds.
 func (c *Counters) Rounds(r int64) { c.roundsThisStep += r }
+
+// IndexFallback records that one predicate-routed primitive fell back to the
+// full node scan because its predicate carries no usable value interval.
+func (c *Counters) IndexFallback() { c.indexFallbacks++ }
+
+// IndexFallbacks returns how many predicate-routed primitives took the
+// full-scan fallback since construction or the last Reset.
+func (c *Counters) IndexFallbacks() int64 { return c.indexFallbacks }
 
 // EndStep closes the current time step's round accounting.
 func (c *Counters) EndStep() {
@@ -142,10 +161,11 @@ func (c *Counters) Steps() int64 { return c.steps }
 // Snapshot returns a copy of the counters for later diffing.
 func (c *Counters) Snapshot() Snapshot {
 	s := Snapshot{
-		ByChannel: c.byChannel,
-		ByKind:    make(map[string]int64, len(c.byKind)),
-		MaxRounds: c.MaxRoundsPerStep(),
-		MaxBits:   c.maxBits,
+		ByChannel:      c.byChannel,
+		ByKind:         make(map[string]int64, len(c.byKind)),
+		MaxRounds:      c.MaxRoundsPerStep(),
+		MaxBits:        c.maxBits,
+		IndexFallbacks: c.indexFallbacks,
 	}
 	for k, v := range c.byKind {
 		s.ByKind[k] = v
@@ -159,6 +179,9 @@ type Snapshot struct {
 	ByKind    map[string]int64
 	MaxRounds int64
 	MaxBits   int
+	// IndexFallbacks is the engine-side full-scan count (see
+	// Counters.IndexFallback); it is work accounting, not message cost.
+	IndexFallbacks int64
 }
 
 // Total returns total messages in the snapshot.
@@ -172,7 +195,12 @@ func (s Snapshot) Total() int64 {
 
 // Sub returns the message-count difference s - o (channel- and kind-wise).
 func (s Snapshot) Sub(o Snapshot) Snapshot {
-	d := Snapshot{ByKind: make(map[string]int64), MaxRounds: s.MaxRounds, MaxBits: s.MaxBits}
+	d := Snapshot{
+		ByKind:         make(map[string]int64),
+		MaxRounds:      s.MaxRounds,
+		MaxBits:        s.MaxBits,
+		IndexFallbacks: s.IndexFallbacks - o.IndexFallbacks,
+	}
 	for i := range s.ByChannel {
 		d.ByChannel[i] = s.ByChannel[i] - o.ByChannel[i]
 	}

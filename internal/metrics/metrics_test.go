@@ -67,6 +67,27 @@ func TestSnapshotSub(t *testing.T) {
 	}
 }
 
+func TestIndexFallbackCounting(t *testing.T) {
+	c := NewCounters()
+	c.IndexFallback()
+	c.IndexFallback()
+	if c.IndexFallbacks() != 2 {
+		t.Errorf("IndexFallbacks = %d, want 2", c.IndexFallbacks())
+	}
+	s1 := c.Snapshot()
+	if s1.IndexFallbacks != 2 {
+		t.Errorf("Snapshot.IndexFallbacks = %d, want 2", s1.IndexFallbacks)
+	}
+	c.IndexFallback()
+	if d := c.Snapshot().Sub(s1); d.IndexFallbacks != 1 {
+		t.Errorf("Sub.IndexFallbacks = %d, want 1", d.IndexFallbacks)
+	}
+	c.Reset()
+	if c.IndexFallbacks() != 0 {
+		t.Errorf("Reset left IndexFallbacks = %d", c.IndexFallbacks())
+	}
+}
+
 func TestChannelString(t *testing.T) {
 	if NodeToServer.String() == "" || ServerToNode.String() == "" || Broadcast.String() == "" {
 		t.Error("channels must render")

@@ -1,8 +1,17 @@
-// Package sim drives complete monitoring runs: a workload generator feeds a
-// cluster engine, a monitor processes each step, the oracle validates every
+// Package sim drives complete monitoring runs: a workload generator feeds
+// the public topk facade (which batches each step's values into one engine
+// step — the very ingest path embedders use), the oracle validates every
 // output, and the offline package prices the adversary's optimum on the
 // recorded trace. The resulting Report carries everything the experiment
 // harness tabulates.
+//
+// Running through the facade instead of calling the engine directly is
+// deliberate: every experiment and property test in this repository then
+// exercises the public API, and the facade-equivalence tests prove the
+// indirection byte-identical to direct engine use. The engine itself stays
+// injected (Config.Engine) and visible to sim for the pieces that are
+// simulation scaffolding, not ingest: Inspector snapshots for adaptive
+// adversaries and the final counter snapshot.
 package sim
 
 import (
@@ -17,6 +26,7 @@ import (
 	"topkmon/internal/oracle"
 	"topkmon/internal/protocol"
 	"topkmon/internal/stream"
+	"topkmon/topk"
 )
 
 // Validate selects the per-step output check.
@@ -102,10 +112,19 @@ func Run(cfg Config) (Report, error) {
 	if eng == nil {
 		eng = lockstep.New(cfg.Gen.N(), cfg.Seed)
 	}
-	mon := cfg.NewMonitor(eng)
+	// The run goes through the public facade: each generator step is pushed
+	// as one UpdateBatch, which performs the exact Advance → Start /
+	// HandleStep → EndStep sequence this loop used to issue directly (the
+	// facade-equivalence tests pin the byte-identity).
+	m, err := topk.New(cfg.K, topk.WrapEps(cfg.Eps),
+		topk.WithClusterEngine(eng), topk.WithMonitorFunc(cfg.NewMonitor))
+	if err != nil {
+		return Report{}, fmt.Errorf("sim: %w", err)
+	}
+	defer m.Close()
 
 	rep := Report{
-		Monitor:  mon.Name(),
+		Monitor:  m.AlgorithmName(),
 		Workload: cfg.Gen.Name(),
 		N:        cfg.Gen.N(),
 		K:        cfg.K,
@@ -122,26 +141,31 @@ func Run(cfg Config) (Report, error) {
 		trace = make([][]int64, 0, cfg.Steps)
 	}
 
-	// Per-step scratch: the oracle buffers and the adaptive-adversary
-	// filter snapshot are reused across all T steps.
+	// Per-step scratch, reused across all T steps: the oracle buffers, the
+	// adaptive-adversary filter snapshot, the push batch, and the output
+	// buffer the facade's TopK fills.
 	var sc oracle.Scratch
 	var filterBuf []filter.Interval
+	batch := make([]topk.Update, 0, cfg.Gen.N())
+	var outBuf []int
 
 	for t := 0; t < cfg.Steps; t++ {
 		if adaptive != nil {
 			filterBuf = eng.FiltersInto(filterBuf)
-			adaptive.ObserveFilters(filterBuf, mon.Output())
+			outBuf = m.TopK(outBuf)
+			adaptive.ObserveFilters(filterBuf, outBuf)
 		}
 		vals := cfg.Gen.Next(t)
-		eng.Advance(vals)
 		if needTrace {
 			trace = append(trace, vals)
 		}
 
-		if t == 0 {
-			mon.Start()
-		} else {
-			mon.HandleStep()
+		batch = batch[:0]
+		for i, v := range vals {
+			batch = append(batch, topk.Update{Node: i, Value: v})
+		}
+		if err := m.UpdateBatch(batch); err != nil {
+			return rep, fmt.Errorf("sim: step %d: %w", t, err)
 		}
 
 		if cfg.Validate != ValidateNone {
@@ -149,22 +173,22 @@ func Run(cfg Config) (Report, error) {
 			if truth.Sigma > rep.SigmaMax {
 				rep.SigmaMax = truth.Sigma
 			}
+			outBuf = m.TopK(outBuf)
 			var err error
 			if cfg.Validate == ValidateExact {
-				err = truth.ValidateExact(mon.Output())
+				err = truth.ValidateExact(outBuf)
 			} else {
-				err = truth.ValidateEps(mon.Output())
+				err = truth.ValidateEps(outBuf)
 			}
 			if err != nil {
 				return rep, fmt.Errorf("sim: step %d, monitor %s on %s: %w",
 					t, rep.Monitor, rep.Workload, err)
 			}
 		}
-		eng.EndStep()
 	}
 
 	rep.Messages = eng.Counters().Snapshot()
-	rep.Epochs = mon.Epochs()
+	rep.Epochs = m.Epochs()
 	rep.MaxRounds = rep.Messages.MaxRounds
 	rep.MaxBits = rep.Messages.MaxBits
 

@@ -1,13 +1,15 @@
-// Command bench regenerates every reproduction experiment (E1–E11): for
+// Command bench regenerates every reproduction experiment (E1–E12): for
 // each paper claim it runs the corresponding workloads and prints the
 // measured tables, optionally writing text and CSV copies. Independent
 // trials and sweep points fan out across -parallel workers; the tables are
 // byte-identical for every worker count.
 //
-// Usage:
+// It is an internal tool (it drives internal/exp directly, so it lives
+// under internal/tools rather than cmd/, which holds only consumers of the
+// public topk API). Run it from the repository root:
 //
-//	bench [-quick] [-only E4] [-seed 1] [-out results/] [-figures=false]
-//	      [-parallel N]
+//	go run ./internal/tools/bench [-quick] [-only E4] [-seed 1]
+//	    [-out results/] [-figures=false] [-parallel N]
 package main
 
 import (

@@ -2,11 +2,15 @@
 // for offline analysis or replay, and can price the offline optimum of an
 // existing trace.
 //
+// It is an internal tool (it drives internal/stream, internal/trace, and
+// internal/offline directly, so it lives under internal/tools rather than
+// cmd/, which holds only consumers of the public topk API).
+//
 // Usage:
 //
-//	tracegen -workload oscillator -n 24 -steps 1000 -out trace.csv
-//	tracegen -workload walk -steps 5000 -format bin -out trace.tkmt
-//	tracegen -solve trace.csv -k 4 -eps 1/8
+//	go run ./internal/tools/tracegen -workload oscillator -n 24 -steps 1000 -out trace.csv
+//	go run ./internal/tools/tracegen -workload walk -steps 5000 -format bin -out trace.tkmt
+//	go run ./internal/tools/tracegen -solve trace.csv -k 4 -eps 1/8
 package main
 
 import (

@@ -67,6 +67,16 @@ func FullRange(lo, hi int64) bool {
 	return lo <= 0 && hi >= eps.MaxValue
 }
 
+// Routable reports whether predicate p can be routed through the value
+// index: its Bounds are usable and do not cover the whole domain. The
+// negation is exactly the full-scan fallback both engines count through
+// metrics.Counters.IndexFallback — the decision depends on the predicate
+// alone, so the engines can never disagree.
+func Routable(p wire.Pred) bool {
+	lo, hi, ok := p.Bounds()
+	return ok && !FullRange(lo, hi)
+}
+
 // Index is a value-bucket index over the node ids [base, base+n). The zero
 // value is not usable; construct with New.
 type Index struct {
@@ -206,10 +216,10 @@ type Router struct {
 // (or nodes itself); candidate values may lie outside the bounds (bucket
 // coarsening), so callers still Match every node.
 func (r *Router) ScanList(p wire.Pred, nodes []*nodecore.Node, base int) []*nodecore.Node {
-	lo, hi, ok := p.Bounds()
-	if !ok || FullRange(lo, hi) {
+	if !Routable(p) {
 		return nodes
 	}
+	lo, hi, _ := p.Bounds()
 	r.cand = r.Idx.AppendSorted(r.cand[:0], lo, hi)
 	r.scan = r.scan[:0]
 	for _, id := range r.cand {

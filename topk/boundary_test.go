@@ -1,0 +1,43 @@
+package topk_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPublicEntryPointsImportNoInternal pins the API boundary this package
+// exists for: cmd/ and examples/ are consumers of the PUBLIC surface and
+// must not import any internal/... package. (CI runs the same check via
+// `go list`; asserting it here makes the boundary part of tier-1
+// `go test ./...` as well.)
+func TestPublicEntryPointsImportNoInternal(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, root := range []string{"../cmd", "../examples"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			f, perr := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if perr != nil {
+				return perr
+			}
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if strings.HasPrefix(p, "topkmon/internal/") || p == "topkmon/internal" {
+					t.Errorf("%s imports %s — public entry points must use only the topk package", path, p)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", root, err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package topk is the public, embeddable entry point of this module: a
+// push-based server-side monitor that continuously knows an ε-approximate
+// set of the k largest-valued nodes among n distributed streams, spending
+// as few node↔server messages as possible (Mäcker, Malatyali, Meyer auf
+// der Heide: "On Competitive Algorithms for Approximations of
+// Top-k-Position Monitoring of Distributed Streams", IPPS 2016).
+//
+// Everything else in the module lives under internal/; applications import
+// only this package:
+//
+//	m, err := topk.New(4, topk.MustEpsilon(1, 8),
+//		topk.WithNodes(64),
+//		topk.WithEngine(topk.Live),
+//		topk.WithShards(4),
+//		topk.WithSeed(7))
+//	defer m.Close()
+//
+//	m.UpdateBatch(batch)        // one batch of pushes = one monitored time step
+//	ids := m.TopK(buf)          // current ε-Top-k positions, zero-alloc
+//	cost := m.Cost()            // messages / rounds / bits spent so far
+//
+// # Push-based ingest
+//
+// The paper's protocols are defined over synchronous time steps: at each
+// step every node observes a new value, then server and nodes exchange
+// messages until the output is valid again. This package inverts the
+// simulation harness's generator-driven loop into a push API and batches
+// pushes into engine steps:
+//
+//   - [Monitor.UpdateBatch] applies one batch of pushes as ONE time step
+//     (nodes absent from the batch keep their previous value — the model's
+//     "unchanged observation"). This is the bulk ingest path: one batch per
+//     collection interval, whatever arrived.
+//   - [Monitor.Update] stages a single push into the current batch. The
+//     pending batch is committed automatically when the same node pushes
+//     twice (a node observes one value per step) and explicitly by
+//     [Monitor.Flush], which always closes a step — an empty Flush is a
+//     heartbeat tick on which the monitor may go entirely quiet.
+//
+// Reads ([Monitor.TopK], [Monitor.Cost], [Monitor.Check]) reflect the last
+// committed step; staged-but-unflushed pushes are not visible yet.
+//
+// # Engines, algorithms, correctness
+//
+// WithEngine selects the execution substrate: [Lockstep] (deterministic
+// sequential, the default — cheapest and bit-reproducible) or [Live]
+// (worker-sharded goroutines over channels, see WithShards). Both are
+// observably identical for equal seeds; the facade-equivalence tests prove
+// a pushed run byte-identical to driving the engines directly.
+//
+// WithMonitor selects the paper's algorithm: the Theorem 5.8 controller
+// [Approx] (default), the exact monitor [Exact] (Corollary 3.3; assumes
+// pairwise-distinct values), [TopKProtocol] (Section 4), [Dense]
+// (Section 5.2; ε-correct in the dense regime it is designed for),
+// [HalfEps] (Corollary 5.9), and the [Naive] / [MidNaive] baselines.
+//
+// [Monitor.Check] recomputes the ground truth over the monitor's mirror of
+// all pushed values and verifies the current output's ε-Top-k property —
+// the referee the examples and the CLI run every step.
+//
+// # Performance
+//
+// The steady-state push path allocates nothing: Update, UpdateBatch, and
+// TopK are 0 allocs/op on both engines (benchmark- and test-enforced),
+// riding on the engines' zero-allocation step pipeline. [Monitor.Reset]
+// rewinds monitor and engine to a fresh construction with a new seed while
+// keeping all buffers and goroutines, so long-running embedders can run
+// many sessions on one Monitor.
+//
+// [Monitor.Subscribe] delivers an [Event] whenever a committed step changed
+// the top-k set — the hook for HTTP/gRPC frontends and reactive consumers.
+package topk

@@ -1,0 +1,90 @@
+package topk_test
+
+import (
+	"fmt"
+	"log"
+
+	"topkmon/topk"
+)
+
+// The basic embedding: construct a monitor over n streams, push one batch
+// of observations (= one monitored time step), and read the ε-Top-k set.
+func ExampleNew() {
+	m, err := topk.New(2, topk.MustEpsilon(1, 8), topk.WithNodes(5), topk.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	err = m.UpdateBatch([]topk.Update{
+		{Node: 0, Value: 120},
+		{Node: 1, Value: 900},
+		{Node: 2, Value: 340},
+		{Node: 3, Value: 77},
+		{Node: 4, Value: 610},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("top-2 positions:", m.TopK(nil))
+	fmt.Println("valid:", m.Check() == nil)
+	// Output:
+	// top-2 positions: [1 4]
+	// valid: true
+}
+
+// Batch ingest over many collection intervals: each UpdateBatch is one
+// time step, nodes absent from a batch keep their previous value, and the
+// filter protocol keeps quiet intervals free of communication.
+func ExampleMonitor_UpdateBatch() {
+	m, err := topk.New(1, topk.MustEpsilon(1, 4), topk.WithNodes(4), topk.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	// Interval 1: the full fleet reports.
+	m.UpdateBatch([]topk.Update{
+		{Node: 0, Value: 1000}, {Node: 1, Value: 400},
+		{Node: 2, Value: 250}, {Node: 3, Value: 120},
+	})
+	// Intervals 2–4: only small fluctuations arrive; the top set is stable
+	// and the monitor spends nothing.
+	quiet := m.Cost().Messages
+	m.UpdateBatch([]topk.Update{{Node: 1, Value: 410}})
+	m.UpdateBatch([]topk.Update{{Node: 2, Value: 260}})
+	m.UpdateBatch(nil) // heartbeat: time advances, nothing changed
+
+	c := m.Cost()
+	fmt.Println("steps:", c.Steps)
+	fmt.Println("top-1:", m.TopK(nil))
+	fmt.Println("messages during quiet intervals:", c.Messages-quiet)
+	// Output:
+	// steps: 4
+	// top-1: [0]
+	// messages during quiet intervals: 0
+}
+
+// Subscribe delivers an event for every committed step that changed the
+// top-k set — the hook for reactive consumers.
+func ExampleMonitor_Subscribe() {
+	m, err := topk.New(1, topk.Zero, topk.WithNodes(3), topk.WithMonitor(topk.Naive))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	events := m.Subscribe()
+
+	m.UpdateBatch([]topk.Update{{Node: 0, Value: 10}, {Node: 1, Value: 20}, {Node: 2, Value: 30}})
+	m.UpdateBatch([]topk.Update{{Node: 1, Value: 25}}) // no set change: no event
+	m.UpdateBatch([]topk.Update{{Node: 0, Value: 99}}) // node 0 takes the lead
+
+	for len(events) > 0 {
+		ev := <-events
+		fmt.Printf("step %d: top set is now %v\n", ev.Step, ev.TopK)
+	}
+	// Output:
+	// step 1: top set is now [2]
+	// step 3: top set is now [0]
+}

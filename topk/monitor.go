@@ -1,0 +1,415 @@
+package topk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"topkmon/internal/cluster"
+	"topkmon/internal/eps"
+	"topkmon/internal/live"
+	"topkmon/internal/lockstep"
+	"topkmon/internal/metrics"
+	"topkmon/internal/oracle"
+	"topkmon/internal/protocol"
+)
+
+// ErrClosed is returned by mutating methods after Close.
+var ErrClosed = errors.New("topk: monitor is closed")
+
+// Update is one node's pushed observation.
+type Update struct {
+	Node  int
+	Value int64
+}
+
+// Event reports that a committed step changed the top-k set. The TopK slice
+// is shared by all subscribers receiving the event — treat it as read-only.
+type Event struct {
+	// Step is the 1-based index of the committed step that changed the set.
+	Step int64
+	// TopK is the new output, in the monitor's id order.
+	TopK []int
+}
+
+// subBuffer is each subscription channel's capacity. Deliveries never
+// block the push path: when a subscriber falls this far behind, further
+// events are dropped for it until it drains.
+const subBuffer = 64
+
+// Monitor is the embeddable push-based ε-Top-k monitor: an engine hosting
+// the n nodes, one of the paper's monitoring algorithms on top, and the
+// batching that turns pushed updates into the model's time steps. Methods
+// are safe for use from one goroutine at a time (guarded by one mutex);
+// subscription channels may be drained from any goroutine.
+type Monitor struct {
+	mu sync.Mutex
+
+	eng        cluster.Engine
+	ownsEngine bool
+	mkMon      func(cluster.Cluster) protocol.Monitor
+	mon        protocol.Monitor
+
+	k    int
+	e    eps.Eps
+	seed uint64
+
+	// vals mirrors every node's last pushed value — the full observation
+	// vector each committed step installs (nodes without a staged push
+	// keep their previous value). stagedAt[i] == batch marks node i as
+	// staged in the current (uncommitted) batch.
+	vals     []int64
+	stagedAt []uint64
+	batch    uint64
+	steps    int64
+
+	// prev is the last committed output, for top-k-set-change detection.
+	prev []int
+	subs []chan Event
+
+	sc     oracle.Scratch
+	closed bool
+}
+
+// New returns a Monitor for the k largest of n node streams with error ε.
+// n comes from WithNodes (or an injected engine); the remaining options
+// have working defaults: Lockstep engine, Approx algorithm, seed 1.
+func New(k int, e Epsilon, opts ...Option) (*Monitor, error) {
+	cfg := config{seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := cfg.nodes
+	if cfg.rawEngine != nil {
+		if n != 0 && n != cfg.rawEngine.N() {
+			return nil, fmt.Errorf("topk: WithNodes(%d) contradicts injected engine with %d nodes", n, cfg.rawEngine.N())
+		}
+		n = cfg.rawEngine.N()
+	}
+	if n < 1 {
+		return nil, errors.New("topk: node count required (WithNodes)")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("topk: k = %d outside [1, n = %d]", k, n)
+	}
+
+	eng := cfg.rawEngine
+	owns := false
+	if eng == nil {
+		owns = true
+		switch cfg.engine {
+		case Live:
+			eng = live.New(n, cfg.seed, live.WithShards(cfg.shards))
+		default:
+			eng = lockstep.New(n, cfg.seed)
+		}
+	}
+
+	m := &Monitor{
+		eng:        eng,
+		ownsEngine: owns,
+		mkMon:      cfg.newMonitorFn(k, e.e),
+		k:          k,
+		e:          e.e,
+		seed:       cfg.seed,
+		vals:       make([]int64, n),
+		stagedAt:   make([]uint64, n),
+		batch:      1,
+		prev:       make([]int, 0, k),
+	}
+	m.mon = m.mkMon(eng)
+	return m, nil
+}
+
+// Update stages one push into the current batch. A second push for the same
+// node first commits the pending batch as one time step (a node observes
+// one value per step), so a round-robin pusher forms steps naturally; use
+// Flush to close a batch explicitly or UpdateBatch for bulk ingest.
+func (m *Monitor) Update(node int, value int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if err := m.stageLocked(node, value); err != nil {
+		return err
+	}
+	return nil
+}
+
+// UpdateBatch merges the batch into any staged pushes (within one batch the
+// last push per node wins) and commits everything as ONE time step. An
+// empty batch is a heartbeat tick: time advances, nothing changed, and a
+// quiet monitor spends no messages.
+func (m *Monitor) UpdateBatch(batch []Update) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	for _, u := range batch {
+		if err := m.checkPush(u.Node, u.Value); err != nil {
+			return err
+		}
+	}
+	for _, u := range batch {
+		m.stagedAt[u.Node] = m.batch
+		m.vals[u.Node] = u.Value
+	}
+	m.commitLocked()
+	return nil
+}
+
+// Flush commits the staged pushes as one time step. It always closes a
+// step, even with nothing staged — the heartbeat tick of a push source
+// that is idle but alive.
+func (m *Monitor) Flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.commitLocked()
+	return nil
+}
+
+// checkPush validates a push without mutating state.
+func (m *Monitor) checkPush(node int, value int64) error {
+	if node < 0 || node >= len(m.vals) {
+		return fmt.Errorf("topk: node %d outside [0, %d)", node, len(m.vals))
+	}
+	if value < 0 || value > eps.MaxValue {
+		return fmt.Errorf("topk: value %d for node %d outside [0, %d]", value, node, eps.MaxValue)
+	}
+	return nil
+}
+
+// stageLocked records one push, committing the pending batch first when the
+// node already has a staged value.
+func (m *Monitor) stageLocked(node int, value int64) error {
+	if err := m.checkPush(node, value); err != nil {
+		return err
+	}
+	if m.stagedAt[node] == m.batch {
+		m.commitLocked()
+	}
+	m.stagedAt[node] = m.batch
+	m.vals[node] = value
+	return nil
+}
+
+// commitLocked closes the current batch as one engine time step: install
+// the observation vector, run the algorithm to quiescence, close the round
+// accounting, and notify subscribers on a top-k-set change. This is the
+// exact Advance → Start/HandleStep → EndStep sequence the simulation
+// harness performs, which is what makes pushed runs byte-identical to
+// engine-driven ones.
+func (m *Monitor) commitLocked() {
+	m.eng.Advance(m.vals)
+	if m.steps == 0 {
+		m.mon.Start()
+	} else {
+		m.mon.HandleStep()
+	}
+	m.eng.EndStep()
+	m.steps++
+	m.batch++
+	m.notifyLocked()
+}
+
+// notifyLocked compares the committed output to the previous one and, on a
+// change, delivers one Event to every subscriber (non-blocking; slow
+// subscribers drop).
+func (m *Monitor) notifyLocked() {
+	out := m.mon.Output()
+	if equalInts(m.prev, out) {
+		return
+	}
+	m.prev = append(m.prev[:0], out...)
+	if len(m.subs) == 0 {
+		return
+	}
+	ev := Event{Step: m.steps, TopK: append([]int(nil), out...)}
+	for _, ch := range m.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TopK appends the current output — the node ids forming a valid ε-Top-k
+// set as of the last committed step — to dst[:0] and returns it, reusing
+// dst's capacity (zero-alloc once dst can hold k ids). Before the first
+// committed step it returns dst[:0].
+func (m *Monitor) TopK(dst []int) []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dst = dst[:0]
+	if m.steps == 0 {
+		return dst
+	}
+	return append(dst, m.mon.Output()...)
+}
+
+// Cost is the communication bill and engine-side work accounting of a run.
+// All message counts follow the paper's unit-cost model.
+type Cost struct {
+	// Messages is the total across all channels.
+	Messages int64
+	// NodeToServer / Unicasts / Broadcasts split Messages by channel.
+	NodeToServer int64
+	Unicasts     int64
+	Broadcasts   int64
+	// MaxRoundsPerStep is the largest number of protocol rounds any single
+	// step consumed (the model allows polylog rounds between steps).
+	MaxRoundsPerStep int64
+	// MaxMessageBits is the largest accounted message size seen.
+	MaxMessageBits int
+	// Steps is the number of committed time steps.
+	Steps int64
+	// IndexFallbacks counts predicate-routed engine primitives that fell
+	// back to a full node scan (engine-side work, not message cost): the
+	// quiet-step violation sweep is the dominant source until violation
+	// routing lands.
+	IndexFallbacks int64
+}
+
+// Cost returns the communication spent since construction or the last
+// Reset. It allocates nothing.
+func (m *Monitor) Cost() Cost {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.eng.Counters()
+	return Cost{
+		Messages:         c.Total(),
+		NodeToServer:     c.ByChannel(metrics.NodeToServer),
+		Unicasts:         c.ByChannel(metrics.ServerToNode),
+		Broadcasts:       c.ByChannel(metrics.Broadcast),
+		MaxRoundsPerStep: c.MaxRoundsPerStep(),
+		MaxMessageBits:   c.MaxBits(),
+		Steps:            m.steps,
+		IndexFallbacks:   c.IndexFallbacks(),
+	}
+}
+
+// Epsilon returns the configured approximation error ε.
+func (m *Monitor) Epsilon() Epsilon { return Epsilon{e: m.e} }
+
+// N returns the number of monitored node streams.
+func (m *Monitor) N() int { return len(m.vals) }
+
+// K returns the size of the monitored top set.
+func (m *Monitor) K() int { return m.k }
+
+// Steps returns the number of committed time steps.
+func (m *Monitor) Steps() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.steps
+}
+
+// Epochs returns how many epochs (phases between guaranteed OPT messages)
+// the algorithm has started — the unit competitive analyses count in.
+func (m *Monitor) Epochs() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mon.Epochs()
+}
+
+// AlgorithmName returns the running algorithm's report name (e.g.
+// "approx-controller").
+func (m *Monitor) AlgorithmName() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mon.Name()
+}
+
+// Check recomputes the ground truth over the monitor's mirror of all
+// pushed values and verifies the current output's ε-Top-k property,
+// returning a descriptive error on violation. It is the omniscient referee
+// of the paper's model — pure server-side arithmetic, no messages — and
+// allocates nothing in steady state. Before the first committed step it
+// trivially passes.
+func (m *Monitor) Check() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.steps == 0 {
+		return nil
+	}
+	truth := oracle.ComputeInto(&m.sc, m.vals, m.k, m.e)
+	return truth.ValidateEps(m.mon.Output())
+}
+
+// Subscribe returns a channel delivering one Event per committed step that
+// changed the top-k set. Delivery is non-blocking: a subscriber more than
+// subBuffer events behind misses the intermediate sets (the latest set is
+// always available via TopK). Subscriptions survive Reset and are closed
+// by Close.
+func (m *Monitor) Subscribe() <-chan Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch := make(chan Event, subBuffer)
+	if m.closed {
+		close(ch)
+		return ch
+	}
+	m.subs = append(m.subs, ch)
+	return ch
+}
+
+// Reset rewinds the monitor to the state a fresh New with the given seed
+// would produce — engine state, counters, algorithm, value mirror, and
+// step count — while keeping every buffer, goroutine, and subscription.
+// Staged-but-uncommitted pushes are discarded. A reset monitor replays a
+// fresh monitor's run bit for bit.
+func (m *Monitor) Reset(seed uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.eng.Reset(seed)
+	m.seed = seed
+	m.mon = m.mkMon(m.eng)
+	clear(m.vals)
+	m.batch++ // invalidates every stagedAt mark: staged pushes are dropped
+	m.steps = 0
+	m.prev = m.prev[:0]
+	return nil
+}
+
+// Close releases the monitor: subscription channels are closed and, when
+// the Monitor constructed its own Live engine, the engine's workers are
+// stopped. Staged-but-uncommitted pushes are discarded. Reads (TopK, Cost)
+// remain valid; mutations return ErrClosed. Close is idempotent.
+func (m *Monitor) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	for _, ch := range m.subs {
+		close(ch)
+	}
+	m.subs = nil
+	if m.ownsEngine {
+		if lc, ok := m.eng.(*live.Cluster); ok {
+			lc.Close()
+		}
+	}
+	return nil
+}

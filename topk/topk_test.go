@@ -1,0 +1,296 @@
+package topk_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"topkmon/internal/eps"
+	"topkmon/topk"
+)
+
+func TestNewValidation(t *testing.T) {
+	e := topk.MustEpsilon(1, 8)
+	cases := []struct {
+		name string
+		k    int
+		opts []topk.Option
+		want string
+	}{
+		{"no nodes", 3, nil, "node count"},
+		{"k too large", 9, []topk.Option{topk.WithNodes(8)}, "outside"},
+		{"k zero", 0, []topk.Option{topk.WithNodes(8)}, "outside"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := topk.New(tc.k, e, tc.opts...)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("New error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEpsilonValidation(t *testing.T) {
+	if _, err := topk.NewEpsilon(3, 2); err == nil {
+		t.Error("ε ≥ 1 accepted")
+	}
+	if _, err := topk.NewEpsilon(-1, 2); err == nil {
+		t.Error("ε < 0 accepted")
+	}
+	e := topk.MustEpsilon(2, 16)
+	if e.String() != "1/8" {
+		t.Errorf("ε not reduced: %s", e)
+	}
+	if !topk.Zero.IsZero() {
+		t.Error("Zero.IsZero() = false")
+	}
+}
+
+func TestPushValidation(t *testing.T) {
+	m, err := topk.New(2, topk.MustEpsilon(1, 4), topk.WithNodes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Update(4, 1); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := m.Update(-1, 1); err == nil {
+		t.Error("negative node accepted")
+	}
+	if err := m.Update(0, -5); err == nil {
+		t.Error("negative value accepted")
+	}
+	if err := m.Update(0, topk.MaxValue+1); err == nil {
+		t.Error("oversized value accepted")
+	}
+	// A rejected batch must not commit a step.
+	if err := m.UpdateBatch([]topk.Update{{Node: 0, Value: 1}, {Node: 99, Value: 1}}); err == nil {
+		t.Error("batch with bad node accepted")
+	}
+	if got := m.Steps(); got != 0 {
+		t.Errorf("rejected batch committed %d steps", got)
+	}
+}
+
+func TestReadsBeforeFirstStep(t *testing.T) {
+	m, err := topk.New(2, topk.MustEpsilon(1, 4), topk.WithNodes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if got := m.TopK(nil); len(got) != 0 {
+		t.Errorf("TopK before first step = %v", got)
+	}
+	if err := m.Check(); err != nil {
+		t.Errorf("Check before first step: %v", err)
+	}
+	if c := m.Cost(); c.Messages != 0 || c.Steps != 0 {
+		t.Errorf("Cost before first step = %+v", c)
+	}
+}
+
+func TestStagedPushInvisibleUntilFlush(t *testing.T) {
+	m, err := topk.New(1, topk.Zero, topk.WithNodes(3), topk.WithMonitor(topk.Naive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.UpdateBatch([]topk.Update{{0, 10}, {1, 20}, {2, 30}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TopK(nil); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("TopK = %v, want [2]", got)
+	}
+	// Stage a push that would change the maximum; not visible yet.
+	if err := m.Update(0, 99); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TopK(nil); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("staged push visible before Flush: TopK = %v", got)
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TopK(nil); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("TopK after Flush = %v, want [0]", got)
+	}
+	if got := m.Steps(); got != 2 {
+		t.Errorf("Steps = %d, want 2", got)
+	}
+}
+
+func TestHeartbeatFlushIsQuiet(t *testing.T) {
+	m, err := topk.New(1, topk.MustEpsilon(1, 4), topk.WithNodes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.UpdateBatch([]topk.Update{{0, 100}, {1, 50}, {2, 10}, {3, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	settled := m.Cost()
+	for range 10 {
+		if err := m.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := m.Cost()
+	if c.Steps != settled.Steps+10 {
+		t.Errorf("heartbeats committed %d steps, want %d", c.Steps, settled.Steps+10)
+	}
+	if c.Messages != settled.Messages {
+		t.Errorf("quiet heartbeats spent %d messages", c.Messages-settled.Messages)
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	m, err := topk.New(1, topk.Zero, topk.WithNodes(3), topk.WithMonitor(topk.Naive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	events := m.Subscribe()
+
+	if err := m.UpdateBatch([]topk.Update{{0, 10}, {1, 20}, {2, 30}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Step != 1 || !reflect.DeepEqual(ev.TopK, []int{2}) {
+			t.Errorf("event = %+v, want step 1 topk [2]", ev)
+		}
+	default:
+		t.Fatal("no event after first step")
+	}
+
+	// A step that does not change the set delivers nothing.
+	if err := m.UpdateBatch([]topk.Update{{1, 21}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		t.Errorf("unchanged set delivered event %+v", ev)
+	default:
+	}
+
+	// A step that moves the maximum delivers the new set.
+	if err := m.UpdateBatch([]topk.Update{{0, 99}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Step != 3 || !reflect.DeepEqual(ev.TopK, []int{0}) {
+			t.Errorf("event = %+v, want step 3 topk [0]", ev)
+		}
+	default:
+		t.Fatal("no event after set change")
+	}
+
+	// Close closes the subscription.
+	m.Close()
+	if _, open := <-events; open {
+		t.Error("subscription channel still open after Close")
+	}
+}
+
+func TestCheckWiring(t *testing.T) {
+	// The naive monitor on distinct values is always exact, so Check
+	// passes; this exercises the referee wiring end to end.
+	m, err := topk.New(2, topk.MustEpsilon(1, 8), topk.WithNodes(8), topk.WithMonitor(topk.Naive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	batch := []topk.Update{{0, 10}, {1, 400}, {2, 30}, {3, 900}, {4, 55}, {5, 1}, {6, 77}, {7, 300}}
+	if err := m.UpdateBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Check(); err != nil {
+		t.Errorf("Check on a valid output: %v", err)
+	}
+	if got := m.TopK(nil); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Errorf("TopK = %v, want [1 3]", got)
+	}
+}
+
+func TestClosedMonitor(t *testing.T) {
+	m, err := topk.New(1, topk.Zero, topk.WithNodes(2), topk.WithMonitor(topk.Naive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.UpdateBatch([]topk.Update{{0, 5}, {1, 2}})
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if err := m.Update(0, 1); err != topk.ErrClosed {
+		t.Errorf("Update after Close = %v, want ErrClosed", err)
+	}
+	if err := m.Flush(); err != topk.ErrClosed {
+		t.Errorf("Flush after Close = %v, want ErrClosed", err)
+	}
+	if err := m.Reset(1); err != topk.ErrClosed {
+		t.Errorf("Reset after Close = %v, want ErrClosed", err)
+	}
+	// Reads stay valid.
+	if got := m.TopK(nil); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("TopK after Close = %v", got)
+	}
+	if c := m.Cost(); c.Steps != 1 {
+		t.Errorf("Cost after Close = %+v", c)
+	}
+	// Subscribing after Close yields a closed channel.
+	if _, open := <-m.Subscribe(); open {
+		t.Error("Subscribe after Close returned an open channel")
+	}
+}
+
+// TestAllAlgorithmsRun smoke-tests every selectable algorithm through the
+// facade on a small distinct-valued workload, Check-validated each step.
+func TestAllAlgorithmsRun(t *testing.T) {
+	algos := []topk.Algorithm{
+		topk.Approx, topk.Exact, topk.TopKProtocol, topk.HalfEps, topk.Naive, topk.MidNaive,
+	}
+	for _, algo := range algos {
+		t.Run(algo.String(), func(t *testing.T) {
+			const n, k = 12, 3
+			m, err := topk.New(k, topk.MustEpsilon(1, 8), topk.WithNodes(n),
+				topk.WithMonitor(algo), topk.WithSeed(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			if m.AlgorithmName() == "" {
+				t.Error("empty algorithm name")
+			}
+			batch := make([]topk.Update, n)
+			for step := 0; step < 40; step++ {
+				for i := range batch {
+					// Distinct, drifting values (Exact assumes distinctness).
+					batch[i] = topk.Update{Node: i, Value: int64(1000 + 100*i + (step*37+i*13)%90)}
+				}
+				if err := m.UpdateBatch(batch); err != nil {
+					t.Fatal(err)
+				}
+				if err := m.Check(); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			}
+			if got := len(m.TopK(nil)); got != k {
+				t.Errorf("|TopK| = %d, want %d", got, k)
+			}
+		})
+	}
+}
+
+// TestWrapEpsRoundTrip pins the scaffolding conversion used by internal/sim.
+func TestWrapEpsRoundTrip(t *testing.T) {
+	e := eps.MustNew(3, 16)
+	if got := topk.WrapEps(e).String(); got != "3/16" {
+		t.Errorf("WrapEps → %s", got)
+	}
+}

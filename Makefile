@@ -24,7 +24,7 @@ BENCHTIME ?= 300ms
 BENCH_OUT ?= BENCH_local.json
 BENCH_SEL_OUT ?= BENCH_local_selectivity.json
 
-.PHONY: all build fmt-check vet api-check test check bench bench-smoke bench-selectivity
+.PHONY: all build fmt-check vet api-check test race fuzz check bench bench-smoke bench-selectivity
 
 all: check
 
@@ -53,6 +53,18 @@ api-check:
 
 test:
 	$(GO) test ./...
+
+# race runs the whole module under the race detector (short mode bounds the
+# heavy property suites); CI runs the same job.
+race:
+	$(GO) test -race -short ./...
+
+# fuzz gives the seeded fuzz targets a short randomized session each — the
+# interval algebra and the Pred.Bounds value-routing contract.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz FuzzIntervalContainment -fuzztime $(FUZZTIME) ./internal/filter/
+	$(GO) test -fuzz FuzzPredBounds -fuzztime $(FUZZTIME) ./internal/wire/
 
 check: build fmt-check vet api-check test
 

@@ -12,12 +12,21 @@
 //
 //	topkmon [-n 32] [-k 4] [-eps 1/8] [-steps 2000] [-workload loads]
 //	        [-monitor approx] [-seed 7] [-report 200] [-engine live]
-//	        [-shards 0] [-repeat 1] [-parallel 0]
+//	        [-shards 0] [-repeat 1] [-parallel 0] [-faults spec]
 //
 // With -repeat R the session runs R times on ONE monitor, rewound between
 // sessions with Monitor.Reset(seed+r) — each repetition is bit-identical to
 // a fresh process started with that seed, at none of the construction cost
 // (for the live engine: the worker goroutines are started once).
+//
+// With -faults the message layer between server and nodes is perturbed by
+// the deterministic fault injector and the monitor's recovery supervisor is
+// armed: outputs that fail validation are flagged through Health() instead
+// of served silently, and the session summary reports the fault bill. The
+// spec is a comma list of drop=P, dup=P, delay=P, retries=N, and
+// crash=NODE@FROM:UNTIL (repeatable), e.g.
+//
+//	topkmon -faults drop=0.1,dup=0.05,crash=2@100:300,crash=5@500:700
 package main
 
 import (
@@ -48,6 +57,8 @@ func main() {
 		"worker shards for the live engine (each owns n/m nodes and its value-bucket partition); 0 = GOMAXPROCS. Output is bit-identical for every value")
 	repeat := flag.Int("repeat", 1,
 		"run the session this many times, reusing one monitor via Reset(seed+r) between runs")
+	faultSpec := flag.String("faults", "",
+		"deterministic fault injection: comma list of drop=P, dup=P, delay=P, retries=N, crash=NODE@FROM:UNTIL (repeatable)")
 	flag.Parse()
 
 	if *parallel > 0 {
@@ -72,9 +83,15 @@ func main() {
 		fail(fmt.Errorf("unknown engine %q", *engine))
 	}
 
+	plan, err := parseFaults(*faultSpec)
+	if err != nil {
+		fail(err)
+	}
+
 	m, err := topk.New(*k, e,
 		topk.WithNodes(*n), topk.WithSeed(*seed), engOpt,
-		topk.WithShards(*shards), topk.WithMonitor(algo))
+		topk.WithShards(*shards), topk.WithMonitor(algo),
+		topk.WithFaults(plan))
 	if err != nil {
 		fail(err)
 	}
@@ -99,14 +116,16 @@ func main() {
 		}
 		fmt.Printf("topkmon: %s on %s, n=%d k=%d ε=%s engine=%s\n",
 			m.AlgorithmName(), gen.name(), *n, *k, e, *engine)
-		runSession(m, gen, *steps, *report)
+		runSession(m, gen, *steps, *report, plan != nil)
 	}
 }
 
 // runSession pushes one batch per tick into the monitor, validating every
-// output and printing the communication summary.
-func runSession(m *topk.Monitor, gen *workload, steps, report int) {
-	var invalid int
+// output and printing the communication summary. Under -faults an invalid
+// output the monitor itself flagged non-Fresh counts as degraded (the
+// guarantee working); only unflagged failures count as invalid.
+func runSession(m *topk.Monitor, gen *workload, steps, report int, faulty bool) {
+	var invalid, degraded int
 	n := m.N()
 	vals := make([]int64, n)
 	batch := make([]topk.Update, 0, n)
@@ -121,14 +140,23 @@ func runSession(m *topk.Monitor, gen *workload, steps, report int) {
 			fail(err)
 		}
 		if err := m.Check(); err != nil {
-			invalid++
-			fmt.Printf("step %6d: INVALID OUTPUT: %v\n", t, err)
+			if h := m.Health(); h.State != topk.Fresh {
+				degraded++
+			} else {
+				invalid++
+				fmt.Printf("step %6d: INVALID OUTPUT: %v\n", t, err)
+			}
 		}
 		if report > 0 && (t+1)%report == 0 {
 			c := m.Cost()
 			topBuf = m.TopK(topBuf)
 			fmt.Printf("step %6d: top-%d=%v  msgs=%d (%.3f/step)\n",
 				t+1, m.K(), topBuf, c.Messages, float64(c.Messages)/float64(t+1))
+			if faulty {
+				h := m.Health()
+				fmt.Printf("             health=%s stale-for=%d  dropped=%d dup=%d retries=%d resyncs=%d\n",
+					h.State, h.StaleFor, c.DroppedMsgs, c.DupMsgs, c.Retries, c.Resyncs)
+			}
 		}
 	}
 
@@ -139,6 +167,67 @@ func runSession(m *topk.Monitor, gen *workload, steps, report int) {
 	fmt.Printf("max rounds/step=%d  max message bits=%d\n", c.MaxRoundsPerStep, c.MaxMessageBits)
 	fmt.Printf("engine work: index fallbacks (full scans)=%d (%.3f/step)\n",
 		c.IndexFallbacks, float64(c.IndexFallbacks)/float64(steps))
+	if faulty {
+		h := m.Health()
+		fmt.Printf("faults: dropped=%d dup=%d retries=%d resyncs=%d stale-steps=%d\n",
+			c.DroppedMsgs, c.DupMsgs, c.Retries, c.Resyncs, c.StaleSteps)
+		fmt.Printf("health: %s (stale for %d steps, degraded-and-flagged steps=%d)\n",
+			h.State, h.StaleFor, degraded)
+	}
+}
+
+// parseFaults parses the -faults spec; an empty spec means no fault layer.
+func parseFaults(spec string) (*topk.FaultPlan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	plan := &topk.FaultPlan{}
+	for _, tok := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(tok), "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: token %q is not key=value", tok)
+		}
+		switch key {
+		case "drop", "dup", "delay":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: %s=%q: %v", key, val, err)
+			}
+			switch key {
+			case "drop":
+				plan.Drop = p
+			case "dup":
+				plan.Dup = p
+			case "delay":
+				plan.Delay = p
+			}
+		case "retries":
+			r, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("faults: retries=%q: %v", val, err)
+			}
+			plan.Retries = r
+		case "crash":
+			node, window, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("faults: crash=%q is not NODE@FROM:UNTIL", val)
+			}
+			from, until, ok := strings.Cut(window, ":")
+			if !ok {
+				return nil, fmt.Errorf("faults: crash=%q is not NODE@FROM:UNTIL", val)
+			}
+			id, err1 := strconv.Atoi(node)
+			lo, err2 := strconv.ParseInt(from, 10, 64)
+			hi, err3 := strconv.ParseInt(until, 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("faults: crash=%q is not NODE@FROM:UNTIL", val)
+			}
+			plan.Crashes = append(plan.Crashes, topk.Crash{Node: id, From: lo, Until: hi})
+		default:
+			return nil, fmt.Errorf("faults: unknown key %q", key)
+		}
+	}
+	return plan, nil
 }
 
 func parseEps(s string) (topk.Epsilon, error) {

@@ -63,6 +63,20 @@ type Counters struct {
 	// The ROADMAP "index the violation sweep" item becomes measurable
 	// through this counter before it is fixed.
 	indexFallbacks int64
+
+	// Fault accounting (internal/faults and the topk facade's recovery
+	// supervisor). These five counters stay zero on a fault-free run: the
+	// engines themselves never touch them — the fault injector bills
+	// droppedMsgs/dupMsgs/retries at the wrapped message layer, and the
+	// facade bills resyncs/staleSteps from its recovery loop. Like
+	// indexFallbacks they are layered accounting, not model message cost,
+	// and both engines produce identical values under equal seeds and
+	// fault plans (pinned by the faults conformance tests).
+	droppedMsgs int64
+	dupMsgs     int64
+	retries     int64
+	resyncs     int64
+	staleSteps  int64
 }
 
 // NewCounters returns an empty counter set.
@@ -82,6 +96,11 @@ func (c *Counters) Reset() {
 	c.steps = 0
 	c.maxBits = 0
 	c.indexFallbacks = 0
+	c.droppedMsgs = 0
+	c.dupMsgs = 0
+	c.retries = 0
+	c.resyncs = 0
+	c.staleSteps = 0
 }
 
 // Count records one message on channel c of the named kind with the given
@@ -108,6 +127,41 @@ func (c *Counters) IndexFallback() { c.indexFallbacks++ }
 // IndexFallbacks returns how many predicate-routed primitives took the
 // full-scan fallback since construction or the last Reset.
 func (c *Counters) IndexFallbacks() int64 { return c.indexFallbacks }
+
+// DroppedMsg records that the fault layer lost one message of the given
+// kind after exhausting any retries.
+func (c *Counters) DroppedMsg() { c.droppedMsgs++ }
+
+// DroppedMsgs returns how many messages the fault layer lost for good.
+func (c *Counters) DroppedMsgs() int64 { return c.droppedMsgs }
+
+// DupMsg records that the fault layer delivered one message twice.
+func (c *Counters) DupMsg() { c.dupMsgs++ }
+
+// DupMsgs returns how many duplicate deliveries the fault layer injected.
+func (c *Counters) DupMsgs() int64 { return c.dupMsgs }
+
+// Retry records one redelivery attempt of the reliability sublayer.
+func (c *Counters) Retry() { c.retries++ }
+
+// Retries returns how many redelivery attempts the reliability sublayer
+// has made (successful or not).
+func (c *Counters) Retries() int64 { return c.retries }
+
+// Resync records one epoch resync: the server re-broadcasting filters and
+// re-running the sweep after detecting divergence.
+func (c *Counters) Resync() { c.resyncs++ }
+
+// Resyncs returns how many epoch resyncs the recovery supervisor ran.
+func (c *Counters) Resyncs() int64 { return c.resyncs }
+
+// StaleStep records one committed step whose published output was not
+// validated fresh (the monitor was degraded or still recovering).
+func (c *Counters) StaleStep() { c.staleSteps++ }
+
+// StaleSteps returns how many committed steps ended without a
+// validated-fresh output.
+func (c *Counters) StaleSteps() int64 { return c.staleSteps }
 
 // EndStep closes the current time step's round accounting.
 func (c *Counters) EndStep() {
@@ -166,6 +220,11 @@ func (c *Counters) Snapshot() Snapshot {
 		MaxRounds:      c.MaxRoundsPerStep(),
 		MaxBits:        c.maxBits,
 		IndexFallbacks: c.indexFallbacks,
+		DroppedMsgs:    c.droppedMsgs,
+		DupMsgs:        c.dupMsgs,
+		Retries:        c.retries,
+		Resyncs:        c.resyncs,
+		StaleSteps:     c.staleSteps,
 	}
 	for k, v := range c.byKind {
 		s.ByKind[k] = v
@@ -182,6 +241,13 @@ type Snapshot struct {
 	// IndexFallbacks is the engine-side full-scan count (see
 	// Counters.IndexFallback); it is work accounting, not message cost.
 	IndexFallbacks int64
+	// Fault accounting (see the matching Counters methods): zero on a
+	// fault-free run.
+	DroppedMsgs int64
+	DupMsgs     int64
+	Retries     int64
+	Resyncs     int64
+	StaleSteps  int64
 }
 
 // Total returns total messages in the snapshot.
@@ -200,6 +266,11 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		MaxRounds:      s.MaxRounds,
 		MaxBits:        s.MaxBits,
 		IndexFallbacks: s.IndexFallbacks - o.IndexFallbacks,
+		DroppedMsgs:    s.DroppedMsgs - o.DroppedMsgs,
+		DupMsgs:        s.DupMsgs - o.DupMsgs,
+		Retries:        s.Retries - o.Retries,
+		Resyncs:        s.Resyncs - o.Resyncs,
+		StaleSteps:     s.StaleSteps - o.StaleSteps,
 	}
 	for i := range s.ByChannel {
 		d.ByChannel[i] = s.ByChannel[i] - o.ByChannel[i]

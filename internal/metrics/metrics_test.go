@@ -88,6 +88,39 @@ func TestIndexFallbackCounting(t *testing.T) {
 	}
 }
 
+func TestFaultCounters(t *testing.T) {
+	c := NewCounters()
+	c.DroppedMsg()
+	c.DroppedMsg()
+	c.DupMsg()
+	c.Retry()
+	c.Retry()
+	c.Retry()
+	c.Resync()
+	c.StaleStep()
+	if c.DroppedMsgs() != 2 || c.DupMsgs() != 1 || c.Retries() != 3 ||
+		c.Resyncs() != 1 || c.StaleSteps() != 1 {
+		t.Errorf("fault counters wrong: drop=%d dup=%d retry=%d resync=%d stale=%d",
+			c.DroppedMsgs(), c.DupMsgs(), c.Retries(), c.Resyncs(), c.StaleSteps())
+	}
+	s1 := c.Snapshot()
+	if s1.DroppedMsgs != 2 || s1.DupMsgs != 1 || s1.Retries != 3 ||
+		s1.Resyncs != 1 || s1.StaleSteps != 1 {
+		t.Errorf("Snapshot fault counters wrong: %+v", s1)
+	}
+	c.DroppedMsg()
+	c.Resync()
+	d := c.Snapshot().Sub(s1)
+	if d.DroppedMsgs != 1 || d.DupMsgs != 0 || d.Retries != 0 ||
+		d.Resyncs != 1 || d.StaleSteps != 0 {
+		t.Errorf("Sub fault counters wrong: %+v", d)
+	}
+	c.Reset()
+	if c.DroppedMsgs()|c.DupMsgs()|c.Retries()|c.Resyncs()|c.StaleSteps() != 0 {
+		t.Error("Reset left fault counters nonzero")
+	}
+}
+
 func TestChannelString(t *testing.T) {
 	if NodeToServer.String() == "" || ServerToNode.String() == "" || Broadcast.String() == "" {
 		t.Error("channels must render")

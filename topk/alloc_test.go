@@ -40,6 +40,10 @@ func TestFacadeStepAllocs(t *testing.T) {
 	}{
 		{"lockstep", nil},
 		{"live/m=3", []topk.Option{topk.WithEngine(topk.Live), topk.WithShards(3)}},
+		// A zero fault plan arms the injector wrapper and the per-step
+		// supervisor; the whole fault layer must stay on the zero-alloc
+		// budget when nothing is injected.
+		{"lockstep/faults=zero", []topk.Option{topk.WithFaults(&topk.FaultPlan{})}},
 	}
 	for _, eng := range engines {
 		t.Run(eng.name, func(t *testing.T) {

@@ -69,4 +69,22 @@
 //
 // [Monitor.Subscribe] delivers an [Event] whenever a committed step changed
 // the top-k set — the hook for HTTP/gRPC frontends and reactive consumers.
+//
+// # Faults and health
+//
+// The paper assumes reliable synchronous messaging. WithFaults drops that
+// assumption deterministically: the engine is wrapped in a seed-driven
+// fault injector (message drops, duplications, delayed filter assignments,
+// scheduled node crashes, bounded unicast retries — every coin from a
+// dedicated RNG stream, so chaotic runs replay byte-identically), and the
+// monitor supervises every committed step. Outputs that fail the built-in
+// referee, protocol failures, and detected node desyncs surface through
+// [Monitor.Health] ([Fresh], [Recovering], [Degraded] + staleness age) and
+// as degradation [Event]s on Subscribe, while the monitor heals itself with
+// epoch resyncs under exponential backoff. The guarantee: after every
+// committed step, either [Monitor.Check] passes or Health is not [Fresh] —
+// the monitor never serves a wrong answer silently. [Cost] carries the
+// fault bill (DroppedMsgs, DupMsgs, Retries, Resyncs, StaleSteps)
+// separately from the model's message counters, which keep billing only
+// delivered messages.
 package topk

@@ -7,6 +7,7 @@ import (
 
 	"topkmon/internal/cluster"
 	"topkmon/internal/eps"
+	"topkmon/internal/faults"
 	"topkmon/internal/live"
 	"topkmon/internal/lockstep"
 	"topkmon/internal/metrics"
@@ -23,13 +24,20 @@ type Update struct {
 	Value int64
 }
 
-// Event reports that a committed step changed the top-k set. The TopK slice
+// Event reports that a committed step changed the top-k set or, on a
+// fault-armed monitor (WithFaults), the monitor's health. The TopK slice
 // is shared by all subscribers receiving the event — treat it as read-only.
 type Event struct {
-	// Step is the 1-based index of the committed step that changed the set.
+	// Step is the 1-based index of the committed step that changed the set
+	// or the health.
 	Step int64
-	// TopK is the new output, in the monitor's id order.
+	// TopK is the current output, in the monitor's id order.
 	TopK []int
+	// Health is the monitor's health as of this step. Degradation events —
+	// deliveries whose only trigger is a health-state change — carry the
+	// unchanged TopK; without WithFaults, Health is always the zero value
+	// (Fresh) and events fire only on set changes, as before.
+	Health Health
 }
 
 // subBuffer is each subscription channel's capacity. Deliveries never
@@ -66,6 +74,19 @@ type Monitor struct {
 	// prev is the last committed output, for top-k-set-change detection.
 	prev []int
 	subs []chan Event
+
+	// Fault-layer state (zero and inert without WithFaults): the injector
+	// wrapping eng, the recovery supervisor's health machine, and the
+	// resync backoff clock. prevHealth is the last state delivered to
+	// subscribers, for degradation-event detection.
+	faulty         *faults.Cluster
+	health         HealthState
+	prevHealth     HealthState
+	staleFor       int64
+	healthErr      error
+	epochBase      int64
+	resyncBackoff  int64
+	resyncCooldown int64
 
 	sc     oracle.Scratch
 	closed bool
@@ -105,17 +126,34 @@ func New(k int, e Epsilon, opts ...Option) (*Monitor, error) {
 		}
 	}
 
+	var faulty *faults.Cluster
+	if cfg.faults != nil {
+		fp := cfg.faults.internal()
+		if err := fp.Validate(n); err != nil {
+			if owns {
+				if lc, ok := eng.(*live.Cluster); ok {
+					lc.Close()
+				}
+			}
+			return nil, err
+		}
+		faulty = faults.Wrap(eng, fp, cfg.seed)
+		eng = faulty
+	}
+
 	m := &Monitor{
-		eng:        eng,
-		ownsEngine: owns,
-		mkMon:      cfg.newMonitorFn(k, e.e),
-		k:          k,
-		e:          e.e,
-		seed:       cfg.seed,
-		vals:       make([]int64, n),
-		stagedAt:   make([]uint64, n),
-		batch:      1,
-		prev:       make([]int, 0, k),
+		eng:           eng,
+		ownsEngine:    owns,
+		faulty:        faulty,
+		resyncBackoff: 1,
+		mkMon:         cfg.newMonitorFn(k, e.e),
+		k:             k,
+		e:             e.e,
+		seed:          cfg.seed,
+		vals:          make([]int64, n),
+		stagedAt:      make([]uint64, n),
+		batch:         1,
+		prev:          make([]int, 0, k),
 	}
 	m.mon = m.mkMon(eng)
 	return m, nil
@@ -204,12 +242,19 @@ func (m *Monitor) stageLocked(node int, value int64) error {
 // exact Advance → Start/HandleStep → EndStep sequence the simulation
 // harness performs, which is what makes pushed runs byte-identical to
 // engine-driven ones.
+// A fault-armed monitor (WithFaults) additionally runs the recovery
+// supervisor between the protocol step and the round-accounting close, so
+// resync traffic bills into the step that needed it.
 func (m *Monitor) commitLocked() {
 	m.eng.Advance(m.vals)
-	if m.steps == 0 {
-		m.mon.Start()
+	if m.faulty == nil {
+		if m.steps == 0 {
+			m.mon.Start()
+		} else {
+			m.mon.HandleStep()
+		}
 	} else {
-		m.mon.HandleStep()
+		m.superviseLocked(m.guardedStepLocked())
 	}
 	m.eng.EndStep()
 	m.steps++
@@ -217,19 +262,29 @@ func (m *Monitor) commitLocked() {
 	m.notifyLocked()
 }
 
-// notifyLocked compares the committed output to the previous one and, on a
-// change, delivers one Event to every subscriber (non-blocking; slow
-// subscribers drop).
+// notifyLocked compares the committed output (and, under faults, the
+// health state) to the previously delivered ones and, on a change,
+// delivers one Event to every subscriber (non-blocking; slow subscribers
+// drop).
 func (m *Monitor) notifyLocked() {
 	out := m.mon.Output()
-	if equalInts(m.prev, out) {
+	setChanged := !equalInts(m.prev, out)
+	healthChanged := m.health != m.prevHealth
+	if !setChanged && !healthChanged {
 		return
 	}
-	m.prev = append(m.prev[:0], out...)
+	if setChanged {
+		m.prev = append(m.prev[:0], out...)
+	}
+	m.prevHealth = m.health
 	if len(m.subs) == 0 {
 		return
 	}
-	ev := Event{Step: m.steps, TopK: append([]int(nil), out...)}
+	ev := Event{
+		Step:   m.steps,
+		TopK:   append([]int(nil), out...),
+		Health: Health{State: m.health, StaleFor: m.staleFor, Err: m.healthErr},
+	}
 	for _, ch := range m.subs {
 		select {
 		case ch <- ev:
@@ -285,6 +340,15 @@ type Cost struct {
 	// quiet-step violation sweep is the dominant source until violation
 	// routing lands.
 	IndexFallbacks int64
+	// Fault-layer accounting, all zero without WithFaults: messages the
+	// injector lost for good / delivered twice, redelivery attempts by the
+	// reliability sublayer, epoch resyncs run by the recovery supervisor,
+	// and committed steps whose output ended unvalidated (served degraded).
+	DroppedMsgs int64
+	DupMsgs     int64
+	Retries     int64
+	Resyncs     int64
+	StaleSteps  int64
 }
 
 // Cost returns the communication spent since construction or the last
@@ -302,6 +366,11 @@ func (m *Monitor) Cost() Cost {
 		MaxMessageBits:   c.MaxBits(),
 		Steps:            m.steps,
 		IndexFallbacks:   c.IndexFallbacks(),
+		DroppedMsgs:      c.DroppedMsgs(),
+		DupMsgs:          c.DupMsgs(),
+		Retries:          c.Retries(),
+		Resyncs:          c.Resyncs(),
+		StaleSteps:       c.StaleSteps(),
 	}
 }
 
@@ -323,10 +392,11 @@ func (m *Monitor) Steps() int64 {
 
 // Epochs returns how many epochs (phases between guaranteed OPT messages)
 // the algorithm has started — the unit competitive analyses count in.
+// Epochs opened before a fault-recovery resync stay counted.
 func (m *Monitor) Epochs() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.mon.Epochs()
+	return m.epochBase + m.mon.Epochs()
 }
 
 // AlgorithmName returns the running algorithm's report name (e.g.
@@ -388,6 +458,15 @@ func (m *Monitor) Reset(seed uint64) error {
 	m.batch++ // invalidates every stagedAt mark: staged pushes are dropped
 	m.steps = 0
 	m.prev = m.prev[:0]
+	// The fault layer rewinds with the engine (the injector's RNG stream is
+	// re-derived inside eng.Reset); the health machine starts over too.
+	m.health = Fresh
+	m.prevHealth = Fresh
+	m.staleFor = 0
+	m.healthErr = nil
+	m.epochBase = 0
+	m.resyncBackoff = 1
+	m.resyncCooldown = 0
 	return nil
 }
 
@@ -407,7 +486,11 @@ func (m *Monitor) Close() error {
 	}
 	m.subs = nil
 	if m.ownsEngine {
-		if lc, ok := m.eng.(*live.Cluster); ok {
+		eng := m.eng
+		if m.faulty != nil {
+			eng = m.faulty.Inner()
+		}
+		if lc, ok := eng.(*live.Cluster); ok {
 			lc.Close()
 		}
 	}

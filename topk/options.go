@@ -89,6 +89,10 @@ type config struct {
 	algo   Algorithm
 	seed   uint64
 
+	// faults, when non-nil, wraps the engine in the deterministic fault
+	// injector and arms the recovery supervisor (see WithFaults).
+	faults *FaultPlan
+
 	// Harness scaffolding (module-internal): a pre-built engine and/or a
 	// custom monitor constructor injected by internal/sim and the tests.
 	rawEngine cluster.Engine

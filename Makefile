@@ -8,8 +8,9 @@
 #   the trajectory across PRs — BENCH_PR1.json (lockstep/oracle zero-alloc
 #   baseline), BENCH_PR2.json (live-engine batching + engine Reset reuse),
 #   BENCH_PR3.json (value-indexed sharded node state: the σ-scaling table
-#   from `make bench-selectivity`) — and future PRs diff against them with
-#   benchstat or jq, e.g.:
+#   from `make bench-selectivity`), BENCH_PR7.json (filter-interval mirror:
+#   the violation-sweep before/after from `make bench-violation`) — and
+#   future PRs diff against them with benchstat or jq, e.g.:
 #     jq -r 'select(.Action=="output") | .Output' BENCH_PR2.json | grep Benchmark
 #   `make bench-smoke` is the CI-speed variant (one iteration per
 #   benchmark, alloc regressions still fail loudly via the *Allocs tests).
@@ -23,8 +24,9 @@ GO ?= go
 BENCHTIME ?= 300ms
 BENCH_OUT ?= BENCH_local.json
 BENCH_SEL_OUT ?= BENCH_local_selectivity.json
+BENCH_VIO_OUT ?= BENCH_local_violation.json
 
-.PHONY: all build fmt-check vet api-check test race fuzz check bench bench-smoke bench-selectivity
+.PHONY: all build fmt-check vet api-check test race fuzz check cover bench bench-smoke bench-selectivity bench-violation
 
 all: check
 
@@ -60,11 +62,19 @@ race:
 	$(GO) test -race -short ./...
 
 # fuzz gives the seeded fuzz targets a short randomized session each — the
-# interval algebra and the Pred.Bounds value-routing contract.
+# interval algebra, the Pred.Bounds value-routing contract, and the
+# filter-interval mirror's no-desync obligation under fault injection.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz FuzzIntervalContainment -fuzztime $(FUZZTIME) ./internal/filter/
 	$(GO) test -fuzz FuzzPredBounds -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -fuzz FuzzFilterMirror -fuzztime $(FUZZTIME) ./internal/lockstep/
+
+# cover prints per-package statement coverage for the engine-core packages
+# the violation-routing test matrix concentrates on: the index + mirror,
+# both engines, and the fault layer. CI publishes the same table.
+cover:
+	$(GO) test -cover ./internal/vindex/ ./internal/lockstep/ ./internal/live/ ./internal/faults/
 
 check: build fmt-check vet api-check test
 
@@ -94,3 +104,14 @@ bench-selectivity:
 		-benchtime=$(BENCHTIME) -json . > $(BENCH_SEL_OUT)
 	@grep -o '"Output":"Benchmark[^"]*"' $(BENCH_SEL_OUT) | sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//'
 	@echo "wrote $(BENCH_SEL_OUT)"
+
+# bench-violation emits the violation-sweep before/after table
+# (BenchmarkViolationSweep: the filter-interval mirror vs. the FullScan
+# ablation, quiet and one-violator, at n=4096 and n=16384) as test2json into
+# $(BENCH_VIO_OUT). The committed snapshot of this table is BENCH_PR7.json.
+# See BENCH.md.
+bench-violation:
+	$(GO) test -run='^$$' -bench='^BenchmarkViolationSweep$$' -benchmem \
+		-benchtime=$(BENCHTIME) -json . > $(BENCH_VIO_OUT)
+	@grep -o '"Output":"Benchmark[^"]*"' $(BENCH_VIO_OUT) | sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//'
+	@echo "wrote $(BENCH_VIO_OUT)"

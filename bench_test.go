@@ -88,7 +88,7 @@ func BenchmarkSweepOneViolator(b *testing.B) {
 			e := lockstep.New(n, 1)
 			vals := make([]int64, n)
 			e.Advance(vals)
-			e.Node(3).SetFilter(filter.Make(5, 10))
+			e.SetFilter(3, filter.Make(5, 10))
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -97,6 +97,49 @@ func BenchmarkSweepOneViolator(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkViolationSweep is the tentpole measurement of the
+// filter-interval mirror (BENCH_PR7.json records the before/after): the
+// scheduled violation sweep of a quiet step, and the same sweep with a
+// single violator, on the mirror-routed engine vs. the FullScan ablation.
+// The quiet indexed variant is the protocol's steady-state per-step cost
+// and must be O(1) in n and 0 allocs/op; the full-scan ablation is what
+// every quiet step cost before the mirror — the acceptance bar is ≥100×
+// between the two at n=16384.
+func BenchmarkViolationSweep(b *testing.B) {
+	for _, n := range []int{4096, 16384} {
+		for _, mode := range []struct {
+			name string
+			full bool
+		}{{"indexed", false}, {"fullscan", true}} {
+			b.Run(fmt.Sprintf("quiet/%s/n=%d", mode.name, n), func(b *testing.B) {
+				e := lockstep.New(n, 1)
+				e.FullScan = mode.full
+				e.Advance(make([]int64, n))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if got := e.Sweep(wire.Violating()); got != nil {
+						b.Fatal("unexpected senders")
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("one-violator/%s/n=%d", mode.name, n), func(b *testing.B) {
+				e := lockstep.New(n, 1)
+				e.FullScan = mode.full
+				e.Advance(make([]int64, n))
+				e.SetFilter(3, filter.Make(5, 10))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if got := e.Sweep(wire.Violating()); len(got) == 0 {
+						b.Fatal("missed violator")
+					}
+				}
+			})
+		}
 	}
 }
 

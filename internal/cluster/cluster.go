@@ -41,15 +41,19 @@
 // (internal/vindex) keyed by wire.Pred.Bounds: only nodes whose values can
 // possibly match the predicate's interval are visited, so the engines'
 // internal scan cost tracks the plausible-matcher count σ rather than n.
-// This is an implementation property with NO protocol-visible effect — the
+// Violation sweeps — whose matches depend on per-node filters, not value
+// bounds — are routed through the engines' filter-interval mirror
+// (vindex.Mirror): the server assigns every filter, so the engine records
+// each assigned interval and maintains the exact violator set, making the
+// scheduled quiet-step violation sweep O(1) server-side work. All routing
+// is an implementation property with NO protocol-visible effect — the
 // model's message costs stated on each method, the report contents and id
 // order, and every coin flip are identical to a full scan (nodes outside
-// the interval could not have matched or sent). Predicates whose matches
-// depend on non-value node state — Violating (per-node filters) and HasTag
-// (tags) — and domain-covering intervals scan all nodes, the documented
+// the interval could not have matched or sent). Only tag predicates
+// (HasTag) and domain-covering intervals scan all nodes, the documented
 // fallback. Protocols should therefore prefer interval predicates
-// (InRange, AboveActive with a meaningful floor) when either formulation
-// is available.
+// (InRange, AboveActive with a meaningful floor) over tag collects when
+// either formulation is available.
 package cluster
 
 import (

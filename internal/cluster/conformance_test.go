@@ -83,10 +83,10 @@ func TestConformanceMessageCosts(t *testing.T) {
 }
 
 // TestConformanceIndexFallbacks pins the engine-side full-scan accounting:
-// state-decided predicates (Violating, HasTag) and domain-covering intervals
-// bill exactly one fallback per Sweep/Collect, routable intervals none — and
-// both engines, at every shard count, agree because the decision is made
-// from the predicate alone.
+// tag predicates and domain-covering intervals bill exactly one fallback
+// per Sweep/Collect; routable intervals and violation sweeps (resolved from
+// the filter-interval mirror) bill none — and both engines, at every shard
+// count, agree because the decision is made from the predicate alone.
 func TestConformanceIndexFallbacks(t *testing.T) {
 	for name, mk := range engines(8, 3) {
 		t.Run(name, func(t *testing.T) {
@@ -94,22 +94,63 @@ func TestConformanceIndexFallbacks(t *testing.T) {
 			defer done()
 			eng.Advance([]int64{10, 20, 30, 40, 50, 60, 70, 80})
 
-			eng.Sweep(wire.Violating())            // state-decided → fallback
+			eng.Sweep(wire.Violating())            // mirror-routed → no fallback
 			eng.Collect(wire.HasTag(wire.TagNone)) // state-decided → fallback
 			eng.Collect(wire.InRange(30, 50))      // routed
 			eng.Sweep(wire.InRange(200, 300))      // routed (silent)
 			eng.MaxFindInit(-1, true)
 			eng.Collect(wire.AboveActive(-1)) // domain-covering → fallback
 
-			if got := eng.Counters().IndexFallbacks(); got != 3 {
-				t.Errorf("IndexFallbacks = %d, want 3", got)
+			if got := eng.Counters().IndexFallbacks(); got != 2 {
+				t.Errorf("IndexFallbacks = %d, want 2", got)
 			}
-			if got := eng.Counters().Snapshot().IndexFallbacks; got != 3 {
-				t.Errorf("Snapshot.IndexFallbacks = %d, want 3", got)
+			if got := eng.Counters().Snapshot().IndexFallbacks; got != 2 {
+				t.Errorf("Snapshot.IndexFallbacks = %d, want 2", got)
 			}
 			eng.Reset(3)
 			if got := eng.Counters().IndexFallbacks(); got != 0 {
 				t.Errorf("Reset left IndexFallbacks = %d", got)
+			}
+		})
+	}
+}
+
+// TestConformanceQuietStepsNoFallbacks pins the headline regression of the
+// filter-interval mirror: the scheduled per-step violation sweep is
+// mirror-routed, so a long run of quiet steps — values moving strictly
+// inside their filters, every violation sweep finding nothing — bills ZERO
+// index fallbacks AND zero messages on both engines at every shard count.
+// If routing ever regresses to the full scan, the fallback counter moves
+// and this test names the engine.
+func TestConformanceQuietStepsNoFallbacks(t *testing.T) {
+	const n, steps = 64, 50
+	for name, mk := range engines(n, 5) {
+		t.Run(name, func(t *testing.T) {
+			eng, done := mk()
+			defer done()
+			// Wide filters admit the whole value walk below: every step
+			// stays quiet.
+			eng.Advance(make([]int64, n))
+			eng.BroadcastRule(wire.NewFilterRule().With(wire.TagNone, filter.Make(0, 2000)))
+			before := eng.Counters().Snapshot()
+			vals := make([]int64, n)
+			for step := 0; step < steps; step++ {
+				for i := range vals {
+					vals[i] = int64((step*37 + i*13) % 2000)
+				}
+				eng.Advance(vals)
+				eng.Sweep(wire.Violating())
+				if _, ok := eng.DetectViolation(); ok {
+					t.Fatal("quiet step produced a violation")
+				}
+				eng.EndStep()
+			}
+			d := eng.Counters().Snapshot().Sub(before)
+			if d.IndexFallbacks != 0 {
+				t.Errorf("quiet steps billed %d index fallbacks, want 0", d.IndexFallbacks)
+			}
+			if d.Total() != 0 {
+				t.Errorf("quiet steps spent %d messages, want 0", d.Total())
 			}
 		})
 	}

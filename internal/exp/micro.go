@@ -57,9 +57,11 @@ func existenceMean(o Options, n, b, trials int) float64 {
 		func(c *trialCtx, trial int) int64 {
 			e := c.reset(n, o.Seed+uint64(trial)*977+uint64(n))
 			e.Advance(c.vals)
-			// b nodes hold a "1": realised as a violating filter.
+			// b nodes hold a "1": realised as a violating filter, assigned
+			// through the engine (so its filter mirror stays consistent);
+			// the snapshot below excludes the assignment messages.
 			for i := 0; i < b; i++ {
-				e.Node(i).SetFilter(filter.Make(5, 10))
+				e.SetFilter(i, filter.Make(5, 10))
 			}
 			before := e.Counters().Snapshot()
 			if senders := e.Sweep(wire.Violating()); len(senders) == 0 {

@@ -12,11 +12,12 @@
 // for the n = 10⁴ step cost where every quiet step paid n channel wake-ups
 // per barrier round. One goroutine per node is the m = n special case.
 //
-// Each shard also owns a value-bucket partition (internal/vindex) over its
-// nodes, maintained incrementally as Advance directives execute: Collect
-// and EXISTENCE-sweep rounds consult wire.Pred.Bounds and visit only the
-// shard's plausible matchers, falling back to the full shard scan for
-// predicates without value bounds (Violating, HasTag) or with
+// Each shard also owns a value-bucket partition and a filter-interval
+// mirror (internal/vindex) over its nodes, maintained incrementally as the
+// directives mutating node state execute: Collect and EXISTENCE-sweep
+// rounds consult wire.Pred.Bounds and visit only the shard's plausible
+// matchers, violation sweeps visit exactly the shard's mirrored violator
+// set, falling back to the full shard scan for tag predicates or
 // domain-covering intervals. Server-side work per response-bearing round is
 // O(m + matches) — workers publish their matches into per-shard report
 // lists which the server concatenates in shard order — instead of scanning
@@ -130,8 +131,10 @@ type response struct {
 }
 
 // shard is the node range one worker goroutine owns: the nodes themselves,
-// the value-bucket partition + routing scratch over them
-// (vindex.Router, the same routing policy the lockstep engine uses), and
+// the value-bucket partition + filter-interval mirror + routing scratch
+// over them (vindex.Router, the same routing policy the lockstep engine
+// uses — the mirror is updated by the same directive that mutates the
+// node, on the owning worker, so it can never desync), and
 // the report list the worker publishes matches into. sweepScan caches the
 // routed scan list across one sweep's EXISTENCE rounds: values cannot
 // change mid-sweep, so rounds > 0 reuse round 0's candidates instead of
@@ -264,9 +267,12 @@ func New(n int, seed uint64, opts ...Option) *Cluster {
 			size++
 		}
 		sh := &shard{
-			base:   base,
-			nodes:  make([]*nodecore.Node, size),
-			router: vindex.Router{Idx: vindex.New(base, size)},
+			base:  base,
+			nodes: make([]*nodecore.Node, size),
+			router: vindex.Router{
+				Idx: vindex.New(base, size),
+				Mir: vindex.NewMirror(base, size),
+			},
 		}
 		for i := range sh.nodes {
 			sh.nodes[i] = nodecore.New(base+i, root)
@@ -300,20 +306,24 @@ func (c *Cluster) worker(w int, sh *shard) {
 				for _, nd := range sh.nodes {
 					nd.Observe(c.advVals[nd.ID])
 					sh.router.Idx.Update(nd.ID, nd.Value)
+					sh.router.Mir.SetValue(nd.ID, nd.Value)
 				}
 			case dirApplyRule:
 				for _, nd := range sh.nodes {
 					nd.ApplyFilterRule(&c.rules[d.ruleIdx])
+					sh.router.Mir.SetFilter(nd.ID, nd.Filter)
 				}
 			case dirSetFilter:
 				if c.workerOf[d.target] == mine {
 					sh.node(d.target).SetFilter(d.iv)
+					sh.router.Mir.SetFilter(d.target, d.iv)
 				}
 			case dirSetTagFilter:
 				if c.workerOf[d.target] == mine {
 					nd := sh.node(d.target)
 					nd.SetTag(d.tag)
 					nd.SetFilter(d.iv)
+					sh.router.Mir.SetFilter(d.target, d.iv)
 				}
 			case dirProbe:
 				if c.workerOf[d.target] == mine {
@@ -365,6 +375,7 @@ func (c *Cluster) worker(w int, sh *shard) {
 					nd.Reset(root)
 				}
 				sh.router.Idx.Reset()
+				sh.router.Mir.Reset()
 			case dirStop:
 				stop = true
 			}

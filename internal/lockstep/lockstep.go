@@ -5,13 +5,14 @@
 // and is — by construction — exactly the synchronous unit-cost model of
 // Section 2.
 //
-// The engine keeps a value-bucket index (internal/vindex) over its nodes,
-// maintained incrementally on Advance: predicate-routed primitives (Sweep,
-// Collect) visit only the nodes whose values can match the predicate's
-// wire.Pred.Bounds interval, so their step cost tracks the number of
-// plausible matchers instead of n. Predicates without value bounds
-// (Violating, HasTag) and domain-covering intervals fall back to the full
-// scan. Routing is invisible to protocols: reports stay in id order, only
+// The engine keeps a value-bucket index and a filter-interval mirror
+// (internal/vindex) over its nodes, maintained incrementally at every node
+// mutation: predicate-routed primitives (Sweep, Collect) visit only the
+// nodes whose values can match the predicate's wire.Pred.Bounds interval,
+// and violation sweeps visit exactly the mirror's violator set, so their
+// step cost tracks the number of plausible matchers instead of n. Tag
+// predicates and domain-covering intervals fall back to the full scan.
+// Routing is invisible to protocols: reports stay in id order, only
 // matching nodes consume randomness, and messages are counted identically —
 // asserted byte-for-byte by TestIndexedScanMatchesFullScan.
 package lockstep
@@ -35,17 +36,20 @@ type Engine struct {
 	rng   *rngx.Source
 	maxV  int64 // running Δ for message-size accounting
 
-	// router holds the value-bucket index over the nodes (maintained on
-	// Advance) and the scratch that turns predicate bounds into id-ordered
+	// router holds the value-bucket index (maintained on Advance) and the
+	// filter-interval mirror (maintained at every filter assignment) over
+	// the nodes, plus the scratch that turns predicates into id-ordered
 	// scan lists. visited counts the node structs predicate-routed
 	// primitives actually touched — the observable the index shrinks from
 	// n per round to the plausible-matcher count (reported by E12).
 	router  vindex.Router
 	visited int64
 
-	// disableIndex forces the full-scan path everywhere; white-box test
-	// hook for the index equivalence property tests, never set otherwise.
-	disableIndex bool
+	// FullScan forces the full-scan path everywhere. Ablation scaffolding
+	// (like DirectReports) for the index equivalence property tests and
+	// BenchmarkViolationSweep; leave false otherwise. It never perturbs
+	// outputs, counters, or coin flips — only the engine-side scan cost.
+	FullScan bool
 
 	// sweepBuf backs the slices returned by Sweep/directSweep; collectBufs
 	// double-buffer Collect so protocols holding one Collect result across
@@ -78,7 +82,7 @@ func New(n int, seed uint64) *Engine {
 		ctr:    metrics.NewCounters(),
 		rng:    root.Child(serverRNG),
 		maxV:   1,
-		router: vindex.Router{Idx: vindex.New(0, n)},
+		router: vindex.Router{Idx: vindex.New(0, n), Mir: vindex.NewMirror(0, n)},
 	}
 	for i := range e.nodes {
 		e.nodes[i] = nodecore.New(i, root)
@@ -100,8 +104,10 @@ func (e *Engine) Reset(seed uint64) {
 	e.rng.Reseed(root.ChildSeed(serverRNG))
 	e.maxV = 1
 	e.router.Idx.Reset()
+	e.router.Mir.Reset()
 	e.visited = 0
 	e.DirectReports = false
+	e.FullScan = false
 }
 
 // N implements cluster.Cluster.
@@ -126,6 +132,7 @@ func (e *Engine) Advance(values []int64) {
 		}
 		nd.Observe(v)
 		e.router.Idx.Update(i, v)
+		e.router.Mir.SetValue(i, v)
 		if v > e.maxV {
 			e.maxV = v
 		}
@@ -175,7 +182,10 @@ func (e *Engine) Tags() []wire.Tag {
 }
 
 // Node exposes one node for white-box tests. Not part of the cluster
-// interfaces and never used by protocols.
+// interfaces and never used by protocols. Callers must treat the node as
+// read-only: mutating Value or Filter behind the engine's back desyncs the
+// value index and the filter mirror (see the nodecore state-mutation
+// contract) — assign filters through SetFilter instead.
 func (e *Engine) Node(i int) *nodecore.Node { return e.nodes[i] }
 
 // VisitedNodes returns the cumulative number of node structs the
@@ -188,16 +198,16 @@ func (e *Engine) VisitedNodes() int64 { return e.visited }
 
 // scanList returns the nodes a predicate-routed primitive must visit, in
 // ascending id order — vindex.Router.ScanList (the routing policy shared
-// with the live engine's shards) behind the test-only disableIndex toggle.
+// with the live engine's shards) behind the FullScan ablation toggle.
 // Non-routable predicates bill one full-scan fallback on the counters; the
 // decision is predicate-only, so the live engine counts identically and the
-// test-only disableIndex toggle never perturbs the count.
+// FullScan toggle never perturbs the count.
 func (e *Engine) scanList(p wire.Pred) []*nodecore.Node {
 	if !vindex.Routable(p) {
 		e.ctr.IndexFallback()
 		return e.nodes
 	}
-	if e.disableIndex {
+	if e.FullScan {
 		return e.nodes
 	}
 	return e.router.ScanList(p, e.nodes, 0)
@@ -207,12 +217,15 @@ func (e *Engine) count(ch metrics.Channel, k wire.Kind) {
 	e.ctr.Count(ch, k.String(), wire.MsgBits(k, len(e.nodes), e.maxV))
 }
 
-// BroadcastRule implements cluster.Cluster.
+// BroadcastRule implements cluster.Cluster. Each node's derived filter is
+// re-mirrored after the rule applies — the mirror needs no tag state of its
+// own, it records what the node actually holds.
 func (e *Engine) BroadcastRule(rule *wire.FilterRule) {
 	e.count(metrics.Broadcast, wire.KindFilterRule)
 	e.ctr.Rounds(1)
 	for _, nd := range e.nodes {
 		nd.ApplyFilterRule(rule)
+		e.router.Mir.SetFilter(nd.ID, nd.Filter)
 	}
 }
 
@@ -220,6 +233,7 @@ func (e *Engine) BroadcastRule(rule *wire.FilterRule) {
 func (e *Engine) SetFilter(id int, iv filter.Interval) {
 	e.count(metrics.ServerToNode, wire.KindSetFilter)
 	e.nodes[id].SetFilter(iv)
+	e.router.Mir.SetFilter(id, iv)
 }
 
 // SetTagFilter implements cluster.Cluster.
@@ -228,6 +242,7 @@ func (e *Engine) SetTagFilter(id int, t wire.Tag, iv filter.Interval) {
 	nd := e.nodes[id]
 	nd.SetTag(t)
 	nd.SetFilter(iv)
+	e.router.Mir.SetFilter(id, iv)
 }
 
 // Probe implements cluster.Cluster.

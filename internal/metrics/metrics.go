@@ -55,13 +55,16 @@ type Counters struct {
 	maxBits int
 
 	// indexFallbacks counts predicate-routed primitives (Sweep, Collect)
-	// that had to take the full node scan because the predicate exposes no
-	// usable value interval (wire.Pred.Bounds ok=false — Violating, HasTag —
-	// or a domain-covering interval). It is engine-side work accounting, not
-	// message cost: both engines count identically (the decision is made
-	// from the predicate alone), so cross-engine equivalence is preserved.
-	// The ROADMAP "index the violation sweep" item becomes measurable
-	// through this counter before it is fixed.
+	// that had to take the full node scan because no index structure can
+	// serve the predicate: tag predicates (HasTag — matches depend on
+	// node-local tags the server does not index) and domain-covering value
+	// intervals (e.g. AboveActive(-1)), where routing could prune nothing.
+	// Violation sweeps no longer fall back: they are resolved from the
+	// engines' filter-interval mirror (vindex.Mirror), so a quiet-step run
+	// holds this counter flat (asserted by the quiet-step regression
+	// tests). It is engine-side work accounting, not message cost: both
+	// engines count identically (the decision is made from the predicate
+	// alone), so cross-engine equivalence is preserved.
 	indexFallbacks int64
 
 	// Fault accounting (internal/faults and the topk facade's recovery

@@ -13,11 +13,15 @@
 // harness) allocates nothing on the node side. Handlers never allocate —
 // the per-step zero-allocation budget of both engines rests on that.
 //
-// Value-mutation contract: Observe and Reset are the ONLY operations that
-// change Node.Value. The engines rely on this to keep their value-bucket
-// indexes (internal/vindex) consistent — they re-index a node exactly at
-// those two points — so any new mutation of Value must notify the owning
-// engine's index as well.
+// State-mutation contract: Observe and Reset are the ONLY operations that
+// change Node.Value, and SetFilter, ApplyFilterRule, and Reset the only
+// ones that change Node.Filter. The engines rely on this to keep their
+// value-bucket indexes and filter-interval mirrors (internal/vindex)
+// consistent — they re-index a node exactly at those points — so any new
+// mutation of Value or Filter must notify the owning engine's structures
+// as well. In particular, harness code must never mutate a node reached
+// through an engine's white-box Node accessor; it assigns filters through
+// the engine's SetFilter instead.
 package nodecore
 
 import (

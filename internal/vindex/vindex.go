@@ -29,6 +29,17 @@
 // necessary-condition direction — every node with a value in [lo, hi] IS in
 // the span — which is what makes index-routed sweeps byte-identical to full
 // scans (asserted by the lockstep index property tests).
+//
+// # Filter-interval mirror
+//
+// The violation predicate (PredViolating) has no value bounds — a match
+// depends on each node's assigned filter — so bucket routing alone cannot
+// serve it. But every filter is server-assigned, so the engine mirrors the
+// assigned intervals next to the node values (Mirror) and maintains the
+// exact violator set incrementally; Router resolves violation sweeps from
+// that set the same way it resolves value sweeps from the buckets. With
+// both structures in place the only remaining full-scan fallbacks are tag
+// predicates and domain-covering intervals.
 package vindex
 
 import (
@@ -67,12 +78,18 @@ func FullRange(lo, hi int64) bool {
 	return lo <= 0 && hi >= eps.MaxValue
 }
 
-// Routable reports whether predicate p can be routed through the value
-// index: its Bounds are usable and do not cover the whole domain. The
-// negation is exactly the full-scan fallback both engines count through
-// metrics.Counters.IndexFallback — the decision depends on the predicate
-// alone, so the engines can never disagree.
+// Routable reports whether predicate p can be routed through the engines'
+// index structures: the violation predicate through the filter-interval
+// Mirror, interval predicates through the value-bucket Index when their
+// Bounds do not cover the whole domain. The negation is exactly the
+// full-scan fallback both engines count through
+// metrics.Counters.IndexFallback — tag predicates (the only remaining
+// state-decided matches) and domain-covering intervals. The decision
+// depends on the predicate alone, so the engines can never disagree.
 func Routable(p wire.Pred) bool {
+	if p.Kind == wire.PredViolating {
+		return true
+	}
 	lo, hi, ok := p.Bounds()
 	return ok && !FullRange(lo, hi)
 }
@@ -191,16 +208,21 @@ func (ix *Index) AppendSorted(dst []int32, lo, hi int64) []int32 {
 // Len returns the number of indexed ids.
 func (ix *Index) Len() int { return len(ix.byBucket) }
 
-// Router bundles an Index with the reusable scratch that turns a
-// predicate's value bounds into an id-ordered node scan list. It is the
-// single place the routing policy lives, shared by the lockstep engine and
-// the live engine's worker shards — which predicates route through the
-// index and which fall back to the full scan can therefore never diverge
-// between engines.
+// Router bundles the value-bucket Index and the filter-interval Mirror
+// with the reusable scratch that turns a predicate into an id-ordered node
+// scan list. It is the single place the routing policy lives, shared by
+// the lockstep engine and the live engine's worker shards — which
+// predicates route through which structure and which fall back to the full
+// scan can therefore never diverge between engines.
 type Router struct {
 	// Idx is the bucket index over the routed nodes; callers own its
 	// maintenance (Update on value changes, Reset on engine reset).
 	Idx *Index
+
+	// Mir is the filter-interval mirror over the same nodes; callers own
+	// its maintenance (SetValue/SetFilter on every node mutation, Reset on
+	// engine reset — see the contract on Mirror).
+	Mir *Mirror
 
 	cand []int32
 	scan []*nodecore.Node
@@ -208,19 +230,24 @@ type Router struct {
 
 // ScanList returns the nodes a predicate-routed primitive must visit out
 // of nodes (whose i-th element must hold id base+i, the Idx id range), in
-// ascending id order: the index candidates for p's value bounds, or all of
-// nodes for the full-scan fallback — state-decided predicates (Violating,
-// HasTag) and domain-covering intervals (e.g. AboveActive(-1)), where
-// routing could prune nothing and sorting candidates would only add cost.
-// The result is Router-owned scratch recycled by the next ScanList call
-// (or nodes itself); candidate values may lie outside the bounds (bucket
+// ascending id order: the mirror's violator set for the violation
+// predicate, the index candidates for a predicate's value bounds, or all
+// of nodes for the full-scan fallback — tag predicates and
+// domain-covering intervals (e.g. AboveActive(-1)), where routing could
+// prune nothing and sorting candidates would only add cost. The result is
+// Router-owned scratch recycled by the next ScanList call (or nodes
+// itself); candidate values may lie outside the bounds (bucket
 // coarsening), so callers still Match every node.
 func (r *Router) ScanList(p wire.Pred, nodes []*nodecore.Node, base int) []*nodecore.Node {
 	if !Routable(p) {
 		return nodes
 	}
-	lo, hi, _ := p.Bounds()
-	r.cand = r.Idx.AppendSorted(r.cand[:0], lo, hi)
+	if p.Kind == wire.PredViolating {
+		r.cand = r.Mir.AppendViolators(r.cand[:0])
+	} else {
+		lo, hi, _ := p.Bounds()
+		r.cand = r.Idx.AppendSorted(r.cand[:0], lo, hi)
+	}
 	r.scan = r.scan[:0]
 	for _, id := range r.cand {
 		r.scan = append(r.scan, nodes[int(id)-base])

@@ -141,8 +141,11 @@ type Pred struct {
 // candidates still need a per-node Match (bucket routing visits supersets,
 // and PredAboveActive additionally requires max-find activity). ok is false
 // for predicates decided by non-value node state — PredViolating (per-node
-// filters) and PredHasTag (tags) — for which engines fall back to the full
-// node scan.
+// filters) and PredHasTag (tags). PredViolating is nevertheless routable:
+// filters are server-assigned, so the engines resolve it from their
+// filter-interval mirror (vindex.Mirror) instead of these bounds; only
+// PredHasTag (and domain-covering intervals) still take the full node
+// scan.
 func (p Pred) Bounds() (lo, hi int64, ok bool) {
 	switch p.Kind {
 	case PredInRange:

@@ -336,9 +336,11 @@ type Cost struct {
 	// Steps is the number of committed time steps.
 	Steps int64
 	// IndexFallbacks counts predicate-routed engine primitives that fell
-	// back to a full node scan (engine-side work, not message cost): the
-	// quiet-step violation sweep is the dominant source until violation
-	// routing lands.
+	// back to a full node scan (engine-side work, not message cost). Only
+	// tag predicates and domain-covering intervals full-scan; violation
+	// sweeps — once the dominant source — are routed through the engines'
+	// filter-interval mirror, so a settled monitor's quiet steps hold this
+	// counter flat (a regression test pins that on both engines).
 	IndexFallbacks int64
 	// Fault-layer accounting, all zero without WithFaults: messages the
 	// injector lost for good / delivered twice, redelivery attempts by the

@@ -145,6 +145,44 @@ func TestHeartbeatFlushIsQuiet(t *testing.T) {
 	}
 }
 
+// TestQuietFlushNoIndexFallbacks is the facade-level quiet-step regression
+// for the filter-interval mirror: once the monitor has settled, heartbeat
+// flushes with unchanged values drain violations via mirror-routed sweeps,
+// so Cost.IndexFallbacks must not move — on either engine. A regression to
+// full-scan violation sweeps would not move this counter (full scans forced
+// by routing policy bill fallbacks only for unroutable predicates), but a
+// regression in the routing POLICY — PredViolating reclassified as
+// unroutable — shows up here immediately.
+func TestQuietFlushNoIndexFallbacks(t *testing.T) {
+	for name, ek := range map[string]topk.EngineKind{"lockstep": topk.Lockstep, "live": topk.Live} {
+		t.Run(name, func(t *testing.T) {
+			m, err := topk.New(2, topk.MustEpsilon(1, 4), topk.WithNodes(16), topk.WithEngine(ek))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			updates := make([]topk.Update, 16)
+			for i := range updates {
+				updates[i] = topk.Update{Node: i, Value: int64(100 + i*10)}
+			}
+			if err := m.UpdateBatch(updates); err != nil {
+				t.Fatal(err)
+			}
+			settled := m.Cost()
+			for range 20 {
+				if err := m.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c := m.Cost()
+			if c.IndexFallbacks != settled.IndexFallbacks {
+				t.Errorf("quiet flushes moved IndexFallbacks by %d, want 0",
+					c.IndexFallbacks-settled.IndexFallbacks)
+			}
+		})
+	}
+}
+
 func TestSubscribe(t *testing.T) {
 	m, err := topk.New(1, topk.Zero, topk.WithNodes(3), topk.WithMonitor(topk.Naive))
 	if err != nil {

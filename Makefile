@@ -25,8 +25,10 @@ BENCHTIME ?= 300ms
 BENCH_OUT ?= BENCH_local.json
 BENCH_SEL_OUT ?= BENCH_local_selectivity.json
 BENCH_VIO_OUT ?= BENCH_local_violation.json
+BENCH_SERVE_OUT ?= BENCH_local_serve.json
+SERVE_ADDR ?= 127.0.0.1:7070
 
-.PHONY: all build fmt-check vet api-check test race fuzz check cover bench bench-smoke bench-selectivity bench-violation
+.PHONY: all build fmt-check vet api-check test race fuzz check cover bench bench-smoke bench-selectivity bench-violation serve bench-serve
 
 all: check
 
@@ -45,12 +47,31 @@ vet:
 
 # api-check enforces the public-API boundary: cmd/ and examples/ consume
 # the embeddable topk package and must not import internal/... directly.
+# One sanctioned exception: cmd/topkd may import topkmon/internal/serve
+# (the HTTP frontend's tenant pool + handlers, factored out for socketless
+# testing); in exchange, internal/serve itself must import nothing from
+# internal/ — only the public topk facade — so the whole server path still
+# consumes the supported API. The topk boundary tests pin the same pair of
+# rules inside `go test ./...`.
 api-check:
 	@leaks=$$($(GO) list -f '{{.ImportPath}}: {{join .Imports " "}}' ./cmd/... ./examples/... \
-		| grep 'topkmon/internal' || true); \
+		| grep 'topkmon/internal' \
+		| grep -v '^topkmon/cmd/topkd:' || true); \
 	if [ -n "$$leaks" ]; then \
 		echo "internal imports leaked into public entry points:"; \
 		echo "$$leaks"; exit 1; \
+	fi
+	@topkd=$$($(GO) list -f '{{join .Imports "\n"}}' ./cmd/topkd \
+		| grep 'topkmon/internal' | grep -v '^topkmon/internal/serve$$' || true); \
+	if [ -n "$$topkd" ]; then \
+		echo "cmd/topkd may import only topkmon/internal/serve, but imports:"; \
+		echo "$$topkd"; exit 1; \
+	fi
+	@serveleaks=$$($(GO) list -f '{{join .Imports "\n"}}' ./internal/serve \
+		| grep 'topkmon/internal' || true); \
+	if [ -n "$$serveleaks" ]; then \
+		echo "internal/serve may only consume the public topk facade, but imports:"; \
+		echo "$$serveleaks"; exit 1; \
 	fi
 
 test:
@@ -62,13 +83,15 @@ race:
 	$(GO) test -race -short ./...
 
 # fuzz gives the seeded fuzz targets a short randomized session each — the
-# interval algebra, the Pred.Bounds value-routing contract, and the
-# filter-interval mirror's no-desync obligation under fault injection.
+# interval algebra, the Pred.Bounds value-routing contract, the
+# filter-interval mirror's no-desync obligation under fault injection, and
+# the HTTP frontend's all-or-nothing batch-decode path.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz FuzzIntervalContainment -fuzztime $(FUZZTIME) ./internal/filter/
 	$(GO) test -fuzz FuzzPredBounds -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -fuzz FuzzFilterMirror -fuzztime $(FUZZTIME) ./internal/lockstep/
+	$(GO) test -fuzz FuzzBatchDecode -fuzztime $(FUZZTIME) ./internal/serve/
 
 # cover prints per-package statement coverage for the engine-core packages
 # the violation-routing test matrix concentrates on: the index + mirror,
@@ -115,3 +138,25 @@ bench-violation:
 		-benchtime=$(BENCHTIME) -json . > $(BENCH_VIO_OUT)
 	@grep -o '"Output":"Benchmark[^"]*"' $(BENCH_VIO_OUT) | sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//'
 	@echo "wrote $(BENCH_VIO_OUT)"
+
+# serve runs the multi-tenant HTTP frontend on $(SERVE_ADDR) with the
+# stock per-server defaults (override via topkd flags, see cmd/topkd).
+serve:
+	$(GO) run ./cmd/topkd -addr $(SERVE_ADDR)
+
+# bench-serve measures the served path end to end: boot topkd, drive it
+# with the closed-loop load generator (thousands of client goroutines ×
+# multiple tenants), and capture throughput + latency percentiles + the
+# final per-tenant /cost scrape into $(BENCH_SERVE_OUT). The loadgen exits
+# nonzero on any request error or any silent-invalid tenant (Check failed
+# while Health still reported Fresh), so this target doubles as an
+# integration gate. The committed snapshot of this table is BENCH_PR8.json.
+bench-serve:
+	$(GO) build -o /tmp/topkd ./cmd/topkd
+	$(GO) build -o /tmp/topkd-loadgen ./internal/tools/loadgen
+	@/tmp/topkd -addr $(SERVE_ADDR) & pid=$$!; \
+	/tmp/topkd-loadgen -addr http://$(SERVE_ADDR) -tenants 8 -clients 256 \
+		-requests 400 -batch 16 -out $(BENCH_SERVE_OUT); status=$$?; \
+	kill $$pid 2>/dev/null; \
+	exit $$status
+	@echo "wrote $(BENCH_SERVE_OUT)"

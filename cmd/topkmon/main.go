@@ -35,8 +35,6 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 
 	"topkmon/topk"
 )
@@ -65,31 +63,26 @@ func main() {
 		runtime.GOMAXPROCS(*parallel)
 	}
 
-	e, err := parseEps(*epsStr)
+	e, err := topk.ParseEpsilon(*epsStr)
 	if err != nil {
 		fail(err)
 	}
-	algo, err := parseAlgo(*monitor)
+	algo, err := topk.ParseAlgorithm(*monitor)
 	if err != nil {
 		fail(err)
 	}
-	var engOpt topk.Option
-	switch *engine {
-	case "live":
-		engOpt = topk.WithEngine(topk.Live)
-	case "lockstep":
-		engOpt = topk.WithEngine(topk.Lockstep)
-	default:
-		fail(fmt.Errorf("unknown engine %q", *engine))
+	engKind, err := topk.ParseEngine(*engine)
+	if err != nil {
+		fail(err)
 	}
 
-	plan, err := parseFaults(*faultSpec)
+	plan, err := topk.ParseFaultPlan(*faultSpec)
 	if err != nil {
 		fail(err)
 	}
 
 	m, err := topk.New(*k, e,
-		topk.WithNodes(*n), topk.WithSeed(*seed), engOpt,
+		topk.WithNodes(*n), topk.WithSeed(*seed), topk.WithEngine(engKind),
 		topk.WithShards(*shards), topk.WithMonitor(algo),
 		topk.WithFaults(plan))
 	if err != nil {
@@ -173,92 +166,6 @@ func runSession(m *topk.Monitor, gen *workload, steps, report int, faulty bool) 
 			c.DroppedMsgs, c.DupMsgs, c.Retries, c.Resyncs, c.StaleSteps)
 		fmt.Printf("health: %s (stale for %d steps, degraded-and-flagged steps=%d)\n",
 			h.State, h.StaleFor, degraded)
-	}
-}
-
-// parseFaults parses the -faults spec; an empty spec means no fault layer.
-func parseFaults(spec string) (*topk.FaultPlan, error) {
-	if spec == "" {
-		return nil, nil
-	}
-	plan := &topk.FaultPlan{}
-	for _, tok := range strings.Split(spec, ",") {
-		key, val, ok := strings.Cut(strings.TrimSpace(tok), "=")
-		if !ok {
-			return nil, fmt.Errorf("faults: token %q is not key=value", tok)
-		}
-		switch key {
-		case "drop", "dup", "delay":
-			p, err := strconv.ParseFloat(val, 64)
-			if err != nil {
-				return nil, fmt.Errorf("faults: %s=%q: %v", key, val, err)
-			}
-			switch key {
-			case "drop":
-				plan.Drop = p
-			case "dup":
-				plan.Dup = p
-			case "delay":
-				plan.Delay = p
-			}
-		case "retries":
-			r, err := strconv.Atoi(val)
-			if err != nil {
-				return nil, fmt.Errorf("faults: retries=%q: %v", val, err)
-			}
-			plan.Retries = r
-		case "crash":
-			node, window, ok := strings.Cut(val, "@")
-			if !ok {
-				return nil, fmt.Errorf("faults: crash=%q is not NODE@FROM:UNTIL", val)
-			}
-			from, until, ok := strings.Cut(window, ":")
-			if !ok {
-				return nil, fmt.Errorf("faults: crash=%q is not NODE@FROM:UNTIL", val)
-			}
-			id, err1 := strconv.Atoi(node)
-			lo, err2 := strconv.ParseInt(from, 10, 64)
-			hi, err3 := strconv.ParseInt(until, 10, 64)
-			if err1 != nil || err2 != nil || err3 != nil {
-				return nil, fmt.Errorf("faults: crash=%q is not NODE@FROM:UNTIL", val)
-			}
-			plan.Crashes = append(plan.Crashes, topk.Crash{Node: id, From: lo, Until: hi})
-		default:
-			return nil, fmt.Errorf("faults: unknown key %q", key)
-		}
-	}
-	return plan, nil
-}
-
-func parseEps(s string) (topk.Epsilon, error) {
-	parts := strings.SplitN(s, "/", 2)
-	if len(parts) != 2 {
-		return topk.Epsilon{}, fmt.Errorf("eps must be p/q, got %q", s)
-	}
-	p, err1 := strconv.ParseInt(parts[0], 10, 64)
-	q, err2 := strconv.ParseInt(parts[1], 10, 64)
-	if err1 != nil || err2 != nil {
-		return topk.Epsilon{}, fmt.Errorf("eps must be p/q, got %q", s)
-	}
-	return topk.NewEpsilon(p, q)
-}
-
-func parseAlgo(name string) (topk.Algorithm, error) {
-	switch name {
-	case "approx":
-		return topk.Approx, nil
-	case "topk":
-		return topk.TopKProtocol, nil
-	case "exact", "exact-mid":
-		return topk.Exact, nil
-	case "half-eps":
-		return topk.HalfEps, nil
-	case "naive":
-		return topk.Naive, nil
-	case "mid-naive":
-		return topk.MidNaive, nil
-	default:
-		return 0, fmt.Errorf("unknown monitor %q", name)
 	}
 }
 

@@ -27,14 +27,21 @@
 //	internal/stream     workloads and adaptive adversaries
 //	internal/sim        run harness (drives runs through topk);
 //	                    internal/exp: experiments E1–E12
+//	internal/serve      multi-tenant HTTP frontend (tenant pool, handlers,
+//	                    SSE bridge) — consumes only the public topk facade
 //	internal/tools      internal CLIs: tools/bench (experiment tables),
-//	                    tools/tracegen (trace generation / offline pricing)
+//	                    tools/tracegen (trace generation / offline pricing),
+//	                    tools/loadgen (closed-loop load driver for topkd)
 //	cmd/topkmon         live monitoring CLI — imports only topk
+//	cmd/topkd           multi-tenant HTTP ingest daemon over internal/serve
 //	examples/           five runnable scenarios — import only topk
 //
 // Applications embed the topk package; cmd/ and examples/ are its reference
-// consumers, and CI (plus the topk boundary test) enforces that neither
-// imports any internal/... package.
+// consumers, and CI (plus the topk boundary tests) enforces that neither
+// imports any internal/... package — with one sanctioned exception:
+// cmd/topkd imports internal/serve, which in turn may import nothing from
+// internal/, so the served path inherits every facade guarantee
+// (TestServeEquivalence proves it byte-identical to direct embedding).
 //
 // # Performance
 //

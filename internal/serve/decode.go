@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"topkmon/topk"
+)
+
+// ErrBatchTooLarge rejects a batch exceeding the server's per-request
+// update limit before it is fully decoded.
+var ErrBatchTooLarge = errors.New("serve: batch exceeds update limit")
+
+// updateJSON is the wire shape of one update. Pointer fields distinguish
+// "absent" from a legitimate zero, so a half-specified element is rejected
+// instead of silently defaulting.
+type updateJSON struct {
+	Node  *int   `json:"node"`
+	Value *int64 `json:"value"`
+}
+
+// DecodeBatch strictly decodes an update batch — a JSON array of
+// {"node": int, "value": int64} objects — appending to dst[:0] and reusing
+// its capacity. It is all-or-nothing by construction: any error (malformed
+// JSON, unknown or missing fields, numeric overflow, more than max
+// elements, trailing data after the array) returns a nil batch, so a
+// handler can never partially apply a bad request. Range validation of
+// node ids and values stays with Monitor.UpdateBatch, which itself
+// validates the whole batch before staging anything.
+func DecodeBatch(r io.Reader, dst []topk.Update, max int) ([]topk.Update, error) {
+	dst = dst[:0]
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("serve: batch: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return nil, fmt.Errorf("serve: batch must be a JSON array, got %v", tok)
+	}
+	for dec.More() {
+		if len(dst) >= max {
+			return nil, fmt.Errorf("%w (max %d)", ErrBatchTooLarge, max)
+		}
+		var u updateJSON
+		if err := dec.Decode(&u); err != nil {
+			return nil, fmt.Errorf("serve: batch element %d: %w", len(dst), err)
+		}
+		if u.Node == nil || u.Value == nil {
+			return nil, fmt.Errorf("serve: batch element %d: need both \"node\" and \"value\"", len(dst))
+		}
+		dst = append(dst, topk.Update{Node: *u.Node, Value: *u.Value})
+	}
+	if _, err := dec.Token(); err != nil { // the closing ']'
+		return nil, fmt.Errorf("serve: batch: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, errors.New("serve: trailing data after batch array")
+	}
+	return dst, nil
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzBatchDecode throws arbitrary bytes at the update-batch request path
+// and pins two properties end to end:
+//
+//  1. DecodeBatch never panics, and on success returns only what a strict
+//     re-encode would reproduce (bounded length, both fields present).
+//  2. All-or-nothing ingest: a request the handlers reject — malformed
+//     JSON, overflowing ids, out-of-range nodes/values, oversized batches,
+//     trailing garbage — commits no step and leaves the monitor's output
+//     untouched; an accepted request commits exactly one step.
+func FuzzBatchDecode(f *testing.F) {
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"node":0,"value":5}]`))
+	f.Add([]byte(`[{"node":3,"value":1048576},{"node":0,"value":0}]`))
+	f.Add([]byte(`[{"node":0,`))
+	f.Add([]byte(`{"node":0,"value":1}`))
+	f.Add([]byte(`[{"node":99999999999999999999,"value":1}]`))
+	f.Add([]byte(`[{"node":0,"value":99999999999999999999}]`))
+	f.Add([]byte(`[{"node":-1,"value":1}]`))
+	f.Add([]byte(`[{"node":0,"value":-1}]`))
+	f.Add([]byte(`[{"node":1.5,"value":1}]`))
+	f.Add([]byte(`[{"node":0,"value":1,"extra":true}]`))
+	f.Add([]byte(`[{"node":0}]`))
+	f.Add([]byte(`[{"value":1}]`))
+	f.Add([]byte(`[{"node":0,"value":1}] trailing`))
+	f.Add([]byte(`[null]`))
+	f.Add([]byte("[" + strings.Repeat(`{"node":0,"value":1},`, 40) + `{"node":0,"value":1}]`))
+	f.Add([]byte("\x00\xff\xfe"))
+
+	const maxBatch = 32
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decoder-level: no panics, hard cap honored.
+		batch, err := DecodeBatch(bytes.NewReader(data), nil, maxBatch)
+		if err == nil && len(batch) > maxBatch {
+			t.Fatalf("decoded %d > max %d updates", len(batch), maxBatch)
+		}
+
+		// Handler-level: a tiny single-tenant server; the request either
+		// commits exactly one step or leaves the tenant untouched.
+		s := New(Options{Defaults: Config{Nodes: 4, K: 1, Seed: 1}, Lazy: true, MaxBatch: maxBatch})
+		defer s.Close()
+		seedReq := httptest.NewRequest(http.MethodPost, "/v1/f/update",
+			strings.NewReader(`[{"node":0,"value":7},{"node":1,"value":3}]`))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, seedReq)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("seeding step: %d", rec.Code)
+		}
+		ten, err := s.Pool().Get("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := ten.Mon.Steps()
+		topBefore := ten.Mon.TopK(nil)
+
+		req := httptest.NewRequest(http.MethodPost, "/v1/f/update", bytes.NewReader(data))
+		rec = httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+
+		after := ten.Mon.Steps()
+		switch {
+		case rec.Code == http.StatusOK:
+			if after != before+1 {
+				t.Fatalf("accepted batch committed %d steps", after-before)
+			}
+		case after != before:
+			t.Fatalf("rejected batch (status %d) committed %d steps", rec.Code, after-before)
+		default:
+			if topAfter := ten.Mon.TopK(nil); !equalIDs(topBefore, topAfter) {
+				t.Fatalf("rejected batch (status %d) mutated output %v -> %v",
+					rec.Code, topBefore, topAfter)
+			}
+		}
+	})
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDecodeBatchGolden re-checks the seed corpus properties without the
+// fuzz engine, so `go test` alone covers them.
+func TestDecodeBatchGolden(t *testing.T) {
+	good := map[string]int{
+		`[]`:                     0,
+		`[{"node":0,"value":5}]`: 1,
+		`[{"node":3,"value":1048576},{"node":0,"value":0}]`: 2,
+		`[{"node":-1,"value":1}]`:                           1, // range is the monitor's call
+		`[{"node":0,"value":-1}]`:                           1,
+	}
+	for in, n := range good {
+		batch, err := DecodeBatch(strings.NewReader(in), nil, 32)
+		if err != nil || len(batch) != n {
+			t.Errorf("DecodeBatch(%q) = %v, %v; want %d updates", in, batch, err, n)
+		}
+	}
+	bad := []string{
+		`[{"node":0,`,
+		`{"node":0,"value":1}`,
+		`[{"node":99999999999999999999,"value":1}]`,
+		`[{"node":0,"value":1,"extra":true}]`,
+		`[{"node":0}]`,
+		`[{"value":1}]`,
+		`[{"node":0,"value":1}] trailing`,
+		`[null]`,
+		`[{"node":1.5,"value":1}]`,
+		``,
+	}
+	for _, in := range bad {
+		if batch, err := DecodeBatch(strings.NewReader(in), nil, 32); err == nil {
+			t.Errorf("DecodeBatch(%q) accepted: %v", in, batch)
+		}
+	}
+	if _, err := DecodeBatch(strings.NewReader(`[{"node":0,"value":1},{"node":1,"value":2}]`), nil, 1); err == nil {
+		t.Error("max-batch cap not enforced")
+	}
+}

@@ -1,0 +1,412 @@
+// Command loadgen drives a running topkd with many concurrent simulated
+// clients and reports sustained throughput and latency percentiles. It is
+// the measurement half of `make bench-serve` (snapshot: BENCH_PR8.json)
+// and the CI serve-smoke job's traffic source.
+//
+// Each client owns a seeded random-walk workload over one tenant's nodes
+// and POSTs batches to /v1/{tenant}/update in a closed loop; tenants are
+// pre-created (PUT, 409-tolerant) from the config flags so the run does
+// not depend on the server's lazy defaults. After the drive, every
+// tenant's /v1/{tenant}/cost snapshot is scraped and the run FAILS (exit
+// 1) on any transport error or any silent-invalid answer — a tenant whose
+// referee Check fails while Health still claims fresh — making the
+// no-silent-wrong-answers guarantee an operational assertion, not just a
+// test one.
+//
+// Usage:
+//
+//	loadgen [-addr http://127.0.0.1:7070] [-tenants 8] [-clients 64]
+//	        [-requests 200] [-batch 16] [-nodes 64] [-k 4] [-eps 1/8]
+//	        [-engine lockstep] [-shards 0] [-monitor approx] [-seed 1]
+//	        [-faults spec] [-tenant-prefix t] [-out FILE] [-wait 10s]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"topkmon/internal/serve"
+	"topkmon/topk"
+)
+
+type params struct {
+	Addr     string `json:"addr"`
+	Prefix   string `json:"tenantPrefix"`
+	Tenants  int    `json:"tenants"`
+	Clients  int    `json:"clients"`
+	Requests int    `json:"requestsPerClient"`
+	Batch    int    `json:"updatesPerBatch"`
+	Nodes    int    `json:"nodes"`
+	K        int    `json:"k"`
+	Eps      string `json:"eps"`
+	Engine   string `json:"engine"`
+	Shards   int    `json:"shards"`
+	Monitor  string `json:"monitor"`
+	Seed     uint64 `json:"seed"`
+	Faults   string `json:"faults,omitempty"`
+}
+
+type latencySummary struct {
+	P50Ms float64 `json:"p50"`
+	P90Ms float64 `json:"p90"`
+	P99Ms float64 `json:"p99"`
+	MaxMs float64 `json:"max"`
+}
+
+type results struct {
+	Requests      int            `json:"requests"`
+	Errors        int            `json:"errors"`
+	Updates       int64          `json:"updates"`
+	WallSeconds   float64        `json:"wallSeconds"`
+	ReqPerSec     float64        `json:"reqPerSec"`
+	UpdatesPerSec float64        `json:"updatesPerSec"`
+	LatencyMs     latencySummary `json:"latencyMs"`
+}
+
+type tenantReport struct {
+	Name          string `json:"name"`
+	Steps         int64  `json:"steps"`
+	Messages      int64  `json:"messages"`
+	Epochs        int64  `json:"epochs"`
+	Check         string `json:"check"`
+	Health        string `json:"health"`
+	SilentInvalid bool   `json:"silentInvalid"`
+}
+
+type snapshot struct {
+	Kind    string            `json:"kind"`
+	When    string            `json:"when"`
+	Env     map[string]any    `json:"env"`
+	Params  params            `json:"params"`
+	Results results           `json:"results"`
+	Tenants []tenantReport    `json:"tenants"`
+	Notes   map[string]string `json:"notes,omitempty"`
+}
+
+// costScrape is the slice of serve's /cost response loadgen consumes.
+type costScrape struct {
+	Steps         int64  `json:"steps"`
+	Epochs        int64  `json:"epochs"`
+	Messages      int64  `json:"messages"`
+	Check         string `json:"check"`
+	SilentInvalid bool   `json:"silentInvalid"`
+	Health        struct {
+		State string `json:"state"`
+	} `json:"health"`
+}
+
+type clientStats struct {
+	lats []time.Duration
+	errs int
+	reqs int
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:7070", "topkd base URL")
+	tenants := flag.Int("tenants", 8, "tenant count")
+	prefix := flag.String("tenant-prefix", "t", "tenant name prefix")
+	clients := flag.Int("clients", 64, "concurrent client goroutines")
+	requests := flag.Int("requests", 200, "requests per client")
+	batch := flag.Int("batch", 16, "updates per request")
+	nodes := flag.Int("nodes", 64, "nodes per tenant")
+	k := flag.Int("k", 4, "top-set size per tenant")
+	epsStr := flag.String("eps", "1/8", "tenant ε as p/q")
+	engine := flag.String("engine", "lockstep", "tenant engine: lockstep | live")
+	shards := flag.Int("shards", 0, "tenant live-engine shards")
+	monitor := flag.String("monitor", "approx", "tenant algorithm")
+	seed := flag.Uint64("seed", 1, "workload + tenant seed")
+	faultSpec := flag.String("faults", "", "tenant fault spec (same syntax as topkd -faults)")
+	out := flag.String("out", "", "write the JSON snapshot here (default: stdout summary only)")
+	wait := flag.Duration("wait", 10*time.Second, "how long to wait for the server to come up")
+	flag.Parse()
+
+	p := params{
+		Addr: *addr, Prefix: *prefix, Tenants: *tenants, Clients: *clients, Requests: *requests,
+		Batch: *batch, Nodes: *nodes, K: *k, Eps: *epsStr, Engine: *engine,
+		Shards: *shards, Monitor: *monitor, Seed: *seed, Faults: *faultSpec,
+	}
+	if p.Tenants < 1 || p.Clients < 1 || p.Requests < 1 || p.Batch < 1 {
+		fail(fmt.Errorf("tenants, clients, requests, batch must all be >= 1"))
+	}
+
+	hc := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        p.Clients + 8,
+			MaxIdleConnsPerHost: p.Clients + 8,
+		},
+	}
+
+	if err := waitReady(hc, p.Addr, *wait); err != nil {
+		fail(err)
+	}
+	if err := createTenants(hc, p); err != nil {
+		fail(err)
+	}
+
+	// Drive: each client is pinned to one tenant (round-robin) and runs a
+	// seeded random-walk workload — deterministic per client index.
+	stats := make([]clientStats, p.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < p.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			stats[c] = driveClient(hc, p, c)
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Aggregate.
+	var all []time.Duration
+	res := results{WallSeconds: wall.Seconds()}
+	for _, st := range stats {
+		res.Requests += st.reqs
+		res.Errors += st.errs
+		all = append(all, st.lats...)
+	}
+	res.Updates = int64(res.Requests-res.Errors) * int64(p.Batch)
+	res.ReqPerSec = float64(res.Requests) / wall.Seconds()
+	res.UpdatesPerSec = float64(res.Updates) / wall.Seconds()
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.LatencyMs = latencySummary{
+		P50Ms: pctMs(all, 0.50), P90Ms: pctMs(all, 0.90),
+		P99Ms: pctMs(all, 0.99), MaxMs: pctMs(all, 1.00),
+	}
+
+	// Scrape every tenant's cost snapshot; traffic has quiesced, so the
+	// check/health verdict is consistent.
+	reports, silent, err := scrapeTenants(hc, p)
+	if err != nil {
+		fail(err)
+	}
+
+	snap := snapshot{
+		Kind: "topkd-loadgen",
+		When: time.Now().UTC().Format(time.RFC3339),
+		Env: map[string]any{
+			"goVersion":  runtime.Version(),
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"numcpu":     runtime.NumCPU(),
+		},
+		Params:  p,
+		Results: res,
+		Tenants: reports,
+	}
+
+	fmt.Printf("loadgen: %d clients × %d reqs × %d updates over %d tenants in %.2fs\n",
+		p.Clients, p.Requests, p.Batch, p.Tenants, res.WallSeconds)
+	fmt.Printf("loadgen: %.0f req/s, %.0f updates/s, errors=%d\n",
+		res.ReqPerSec, res.UpdatesPerSec, res.Errors)
+	fmt.Printf("loadgen: latency ms p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+		res.LatencyMs.P50Ms, res.LatencyMs.P90Ms, res.LatencyMs.P99Ms, res.LatencyMs.MaxMs)
+	for _, tr := range reports {
+		fmt.Printf("loadgen: tenant %s: steps=%d msgs=%d epochs=%d health=%s check=%s silentInvalid=%v\n",
+			tr.Name, tr.Steps, tr.Messages, tr.Epochs, tr.Health,
+			abbrev(tr.Check), tr.SilentInvalid)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("loadgen: wrote %s\n", *out)
+	}
+
+	if res.Errors > 0 {
+		fail(fmt.Errorf("%d request errors", res.Errors))
+	}
+	if silent > 0 {
+		fail(fmt.Errorf("%d tenants served a SILENT INVALID answer (Check failed with Health fresh)", silent))
+	}
+}
+
+func tenantName(p params, i int) string { return p.Prefix + strconv.Itoa(i) }
+
+func waitReady(hc *http.Client, addr string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := hc.Get(addr + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %s: %v", addr, wait, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// createTenants PUTs every tenant with the explicit config from the flags
+// (an already-existing tenant is fine — reruns against a live server).
+func createTenants(hc *http.Client, p params) error {
+	var faults *serve.FaultConfig
+	if p.Faults != "" {
+		plan, err := topk.ParseFaultPlan(p.Faults)
+		if err != nil {
+			return err
+		}
+		faults = &serve.FaultConfig{
+			Drop: plan.Drop, Dup: plan.Dup, Delay: plan.Delay, Retries: plan.Retries,
+		}
+		for _, c := range plan.Crashes {
+			faults.Crashes = append(faults.Crashes,
+				serve.CrashConfig{Node: c.Node, From: c.From, Until: c.Until})
+		}
+	}
+	cfg := serve.Config{
+		Nodes: p.Nodes, K: p.K, Eps: p.Eps, Engine: p.Engine, Shards: p.Shards,
+		Monitor: p.Monitor, Seed: p.Seed, Faults: faults,
+	}
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < p.Tenants; i++ {
+		req, err := http.NewRequest(http.MethodPut,
+			p.Addr+"/v1/"+tenantName(p, i), bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			return err
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+			return fmt.Errorf("create tenant %s: %s: %s",
+				tenantName(p, i), resp.Status, bytes.TrimSpace(msg))
+		}
+	}
+	return nil
+}
+
+// driveClient runs one client's closed loop: build a batch from its
+// random walk, POST it, record the latency.
+func driveClient(hc *http.Client, p params, c int) clientStats {
+	st := clientStats{lats: make([]time.Duration, 0, p.Requests)}
+	tenant := tenantName(p, c%p.Tenants)
+	url := p.Addr + "/v1/" + tenant + "/update"
+	rng := rand.New(rand.NewSource(int64(p.Seed) + int64(c)*7919))
+
+	walk := make([]int64, p.Nodes)
+	for i := range walk {
+		walk[i] = 5000 + rng.Int63n(10001)
+	}
+	type upd struct {
+		Node  int   `json:"node"`
+		Value int64 `json:"value"`
+	}
+	batch := make([]upd, p.Batch)
+	var buf bytes.Buffer
+
+	for r := 0; r < p.Requests; r++ {
+		for b := range batch {
+			node := rng.Intn(p.Nodes)
+			walk[node] += rng.Int63n(401) - 200
+			if walk[node] < 0 {
+				walk[node] = 0
+			}
+			batch[b] = upd{Node: node, Value: walk[node]}
+		}
+		buf.Reset()
+		if err := json.NewEncoder(&buf).Encode(batch); err != nil {
+			st.errs++
+			st.reqs++
+			continue
+		}
+		t0 := time.Now()
+		resp, err := hc.Post(url, "application/json", bytes.NewReader(buf.Bytes()))
+		lat := time.Since(t0)
+		st.reqs++
+		if err != nil {
+			st.errs++
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			st.errs++
+			continue
+		}
+		st.lats = append(st.lats, lat)
+	}
+	return st
+}
+
+func scrapeTenants(hc *http.Client, p params) ([]tenantReport, int, error) {
+	var reports []tenantReport
+	silent := 0
+	for i := 0; i < p.Tenants; i++ {
+		name := tenantName(p, i)
+		resp, err := hc.Get(p.Addr + "/v1/" + name + "/cost")
+		if err != nil {
+			return nil, 0, err
+		}
+		var c costScrape
+		err = json.NewDecoder(resp.Body).Decode(&c)
+		resp.Body.Close()
+		if err != nil {
+			return nil, 0, fmt.Errorf("scrape %s/cost: %v", name, err)
+		}
+		if c.SilentInvalid {
+			silent++
+		}
+		reports = append(reports, tenantReport{
+			Name: name, Steps: c.Steps, Messages: c.Messages, Epochs: c.Epochs,
+			Check: c.Check, Health: c.Health.State, SilentInvalid: c.SilentInvalid,
+		})
+	}
+	return reports, silent, nil
+}
+
+func pctMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+func abbrev(s string) string {
+	if len(s) > 60 {
+		return s[:57] + "..."
+	}
+	return s
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+	os.Exit(1)
+}

@@ -14,7 +14,17 @@ import (
 // must not import any internal/... package. (CI runs the same check via
 // `go list`; asserting it here makes the boundary part of tier-1
 // `go test ./...` as well.)
+//
+// One sanctioned exception: cmd/topkd may import topkmon/internal/serve —
+// the HTTP frontend's tenant pool and handlers, factored out of the binary
+// so they are unit-testable without a socket. The boundary's spirit is
+// preserved by the complementary rule below: internal/serve itself may
+// import nothing from internal/, only the public topk facade, so the
+// entire server path still consumes the supported API.
 func TestPublicEntryPointsImportNoInternal(t *testing.T) {
+	allowed := map[string]map[string]bool{
+		filepath.Join("..", "cmd", "topkd", "main.go"): {"topkmon/internal/serve": true},
+	}
 	fset := token.NewFileSet()
 	for _, root := range []string{"../cmd", "../examples"} {
 		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
@@ -31,6 +41,9 @@ func TestPublicEntryPointsImportNoInternal(t *testing.T) {
 			for _, imp := range f.Imports {
 				p := strings.Trim(imp.Path.Value, `"`)
 				if strings.HasPrefix(p, "topkmon/internal/") || p == "topkmon/internal" {
+					if allowed[path][p] {
+						continue
+					}
 					t.Errorf("%s imports %s — public entry points must use only the topk package", path, p)
 				}
 			}
@@ -39,5 +52,36 @@ func TestPublicEntryPointsImportNoInternal(t *testing.T) {
 		if err != nil {
 			t.Fatalf("walking %s: %v", root, err)
 		}
+	}
+}
+
+// TestServeImportsOnlyPublicFacade is the other half of the topkd
+// exception: the HTTP frontend must stay a pure consumer of the public
+// topk package — no imports from the rest of internal/ — so every server
+// guarantee (byte-identical outputs, zero-alloc ingest, fault health) is
+// inherited from the facade rather than re-derived beside it.
+func TestServeImportsOnlyPublicFacade(t *testing.T) {
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(filepath.Join("..", "internal", "serve"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if perr != nil {
+			return perr
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if strings.HasPrefix(p, "topkmon/internal/") || p == "topkmon/internal" {
+				t.Errorf("%s imports %s — internal/serve may only consume the public topk facade", path, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking internal/serve: %v", err)
 	}
 }

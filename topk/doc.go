@@ -68,7 +68,10 @@
 // many sessions on one Monitor.
 //
 // [Monitor.Subscribe] delivers an [Event] whenever a committed step changed
-// the top-k set — the hook for HTTP/gRPC frontends and reactive consumers.
+// the top-k set — the hook for HTTP/gRPC frontends and reactive consumers
+// ([Monitor.Unsubscribe] detaches one subscriber without closing the
+// monitor, e.g. on client disconnect; cmd/topkd's SSE bridge is the
+// reference consumer).
 //
 // # Faults and health
 //

@@ -429,7 +429,7 @@ func (m *Monitor) Check() error {
 // changed the top-k set. Delivery is non-blocking: a subscriber more than
 // subBuffer events behind misses the intermediate sets (the latest set is
 // always available via TopK). Subscriptions survive Reset and are closed
-// by Close.
+// by Close, or individually by Unsubscribe.
 func (m *Monitor) Subscribe() <-chan Event {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -440,6 +440,25 @@ func (m *Monitor) Subscribe() <-chan Event {
 	}
 	m.subs = append(m.subs, ch)
 	return ch
+}
+
+// Unsubscribe removes ch — a channel previously returned by Subscribe —
+// from the delivery list and closes it. Long-lived monitors serving
+// transient consumers (the HTTP frontend's SSE bridge, dashboards) must
+// unsubscribe departed consumers or the delivery list grows without bound.
+// Unsubscribing a foreign or already-removed channel is a no-op, and after
+// Close every subscription is closed already, so Unsubscribe never
+// double-closes.
+func (m *Monitor) Unsubscribe(ch <-chan Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, c := range m.subs {
+		if (<-chan Event)(c) == ch {
+			m.subs = append(m.subs[:i], m.subs[i+1:]...)
+			close(c)
+			return
+		}
+	}
 }
 
 // Reset rewinds the monitor to the state a fresh New with the given seed

@@ -233,6 +233,88 @@ func TestSubscribe(t *testing.T) {
 	}
 }
 
+func TestUnsubscribe(t *testing.T) {
+	m, err := topk.New(1, topk.Zero, topk.WithNodes(3), topk.WithMonitor(topk.Naive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	gone := m.Subscribe()
+	kept := m.Subscribe()
+
+	// Unsubscribe closes exactly the removed channel; the survivor keeps
+	// receiving.
+	m.Unsubscribe(gone)
+	if _, open := <-gone; open {
+		t.Fatal("unsubscribed channel still open")
+	}
+	if err := m.UpdateBatch([]topk.Update{{0, 10}, {1, 20}, {2, 30}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-kept:
+		if ev.Step != 1 {
+			t.Errorf("surviving subscriber got %+v", ev)
+		}
+	default:
+		t.Fatal("surviving subscriber got nothing after set change")
+	}
+
+	// Foreign and repeated unsubscribes are no-ops, including after Close.
+	m.Unsubscribe(gone)
+	m.Unsubscribe(make(chan topk.Event))
+	m.Close()
+	m.Unsubscribe(kept)
+}
+
+func TestParsers(t *testing.T) {
+	if e, err := topk.ParseEpsilon("1/8"); err != nil || e.String() != "1/8" {
+		t.Errorf("ParseEpsilon(1/8) = %v, %v", e, err)
+	}
+	for _, bad := range []string{"", "0.125", "1/0", "8/1", "x/y"} {
+		if _, err := topk.ParseEpsilon(bad); err == nil {
+			t.Errorf("ParseEpsilon(%q) accepted", bad)
+		}
+	}
+	if k, err := topk.ParseEngine("live"); err != nil || k != topk.Live {
+		t.Errorf("ParseEngine(live) = %v, %v", k, err)
+	}
+	if _, err := topk.ParseEngine("vax"); err == nil {
+		t.Error("ParseEngine(vax) accepted")
+	}
+	for in, want := range map[string]topk.Algorithm{
+		"approx": topk.Approx, "exact": topk.Exact, "exact-mid": topk.Exact,
+		"topk": topk.TopKProtocol, "topk-protocol": topk.TopKProtocol,
+		"dense": topk.Dense, "half-eps": topk.HalfEps,
+		"naive": topk.Naive, "mid-naive": topk.MidNaive,
+	} {
+		if a, err := topk.ParseAlgorithm(in); err != nil || a != want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", in, a, err, want)
+		}
+	}
+	if _, err := topk.ParseAlgorithm("quantum"); err == nil {
+		t.Error("ParseAlgorithm(quantum) accepted")
+	}
+
+	plan, err := topk.ParseFaultPlan("drop=0.1,dup=0.05,delay=0.2,retries=5,crash=2@100:300,crash=5@500:700")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &topk.FaultPlan{Drop: 0.1, Dup: 0.05, Delay: 0.2, Retries: 5,
+		Crashes: []topk.Crash{{Node: 2, From: 100, Until: 300}, {Node: 5, From: 500, Until: 700}}}
+	if !reflect.DeepEqual(plan, want) {
+		t.Errorf("ParseFaultPlan = %+v, want %+v", plan, want)
+	}
+	if p, err := topk.ParseFaultPlan(""); err != nil || p != nil {
+		t.Errorf("ParseFaultPlan(\"\") = %v, %v; want nil, nil", p, err)
+	}
+	for _, bad := range []string{"drop", "drop=x", "retries=many", "crash=2", "crash=2@5", "warp=1"} {
+		if _, err := topk.ParseFaultPlan(bad); err == nil {
+			t.Errorf("ParseFaultPlan(%q) accepted", bad)
+		}
+	}
+}
+
 func TestCheckWiring(t *testing.T) {
 	// The naive monitor on distinct values is always exact, so Check
 	// passes; this exercises the referee wiring end to end.

@@ -26,9 +26,10 @@ BENCH_OUT ?= BENCH_local.json
 BENCH_SEL_OUT ?= BENCH_local_selectivity.json
 BENCH_VIO_OUT ?= BENCH_local_violation.json
 BENCH_SERVE_OUT ?= BENCH_local_serve.json
+BENCH_WAL_OUT ?= BENCH_local_wal.json
 SERVE_ADDR ?= 127.0.0.1:7070
 
-.PHONY: all build fmt-check vet api-check test race fuzz check cover bench bench-smoke bench-selectivity bench-violation serve bench-serve
+.PHONY: all build fmt-check vet api-check test race fuzz check cover bench bench-smoke bench-selectivity bench-violation serve bench-serve bench-wal smoke-crash
 
 all: check
 
@@ -49,10 +50,11 @@ vet:
 # the embeddable topk package and must not import internal/... directly.
 # One sanctioned exception: cmd/topkd may import topkmon/internal/serve
 # (the HTTP frontend's tenant pool + handlers, factored out for socketless
-# testing); in exchange, internal/serve itself must import nothing from
-# internal/ — only the public topk facade — so the whole server path still
-# consumes the supported API. The topk boundary tests pin the same pair of
-# rules inside `go test ./...`.
+# testing); in exchange, internal/serve itself may import only
+# internal/wal (its durability layer) beyond the public topk facade, and
+# internal/wal in turn imports only topk — so the whole server path still
+# consumes the supported API. The topk boundary tests pin the same rules
+# inside `go test ./...`.
 api-check:
 	@leaks=$$($(GO) list -f '{{.ImportPath}}: {{join .Imports " "}}' ./cmd/... ./examples/... \
 		| grep 'topkmon/internal' \
@@ -68,10 +70,16 @@ api-check:
 		echo "$$topkd"; exit 1; \
 	fi
 	@serveleaks=$$($(GO) list -f '{{join .Imports "\n"}}' ./internal/serve \
-		| grep 'topkmon/internal' || true); \
+		| grep 'topkmon/internal' | grep -v '^topkmon/internal/wal$$' || true); \
 	if [ -n "$$serveleaks" ]; then \
-		echo "internal/serve may only consume the public topk facade, but imports:"; \
+		echo "internal/serve may only consume topk and internal/wal, but imports:"; \
 		echo "$$serveleaks"; exit 1; \
+	fi
+	@walleaks=$$($(GO) list -f '{{join .Imports "\n"}}' ./internal/wal \
+		| grep 'topkmon/internal' || true); \
+	if [ -n "$$walleaks" ]; then \
+		echo "internal/wal may only consume the public topk facade, but imports:"; \
+		echo "$$walleaks"; exit 1; \
 	fi
 
 test:
@@ -84,14 +92,17 @@ race:
 
 # fuzz gives the seeded fuzz targets a short randomized session each — the
 # interval algebra, the Pred.Bounds value-routing contract, the
-# filter-interval mirror's no-desync obligation under fault injection, and
-# the HTTP frontend's all-or-nothing batch-decode path.
+# filter-interval mirror's no-desync obligation under fault injection, the
+# HTTP frontend's all-or-nothing batch-decode path, and the WAL decoder's
+# torn-write obligations (no panic, exact canonical prefix, idempotent
+# truncation) on arbitrary bytes.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz FuzzIntervalContainment -fuzztime $(FUZZTIME) ./internal/filter/
 	$(GO) test -fuzz FuzzPredBounds -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -fuzz FuzzFilterMirror -fuzztime $(FUZZTIME) ./internal/lockstep/
 	$(GO) test -fuzz FuzzBatchDecode -fuzztime $(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz FuzzWALDecode -fuzztime $(FUZZTIME) ./internal/wal/
 
 # cover prints per-package statement coverage for the engine-core packages
 # the violation-routing test matrix concentrates on: the index + mirror,
@@ -160,3 +171,22 @@ bench-serve:
 	kill $$pid 2>/dev/null; \
 	exit $$status
 	@echo "wrote $(BENCH_SERVE_OUT)"
+
+# bench-wal measures what durability costs: per-batch ingest under each
+# fsync policy vs. the volatile baseline (BenchmarkDurableCommit — the
+# steady path stays zero-alloc) and boot-time replay vs. log length
+# (BenchmarkRecovery — the curve that motivates snapshot compaction).
+# The committed snapshot of this table is BENCH_PR9.json. See BENCH.md.
+bench-wal:
+	$(GO) test -run='^$$' -bench='^(BenchmarkDurableCommit|BenchmarkRecovery)$$' -benchmem \
+		-benchtime=$(BENCHTIME) -json ./internal/serve/ > $(BENCH_WAL_OUT)
+	@grep -o '"Output":"Benchmark[^"]*"' $(BENCH_WAL_OUT) | sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//'
+	@echo "wrote $(BENCH_WAL_OUT)"
+
+# smoke-crash is the durability layer's end-to-end gate: boot topkd with a
+# data dir, drive it, SIGKILL it mid-load, restart on the same dir, and
+# assert every tenant recovers Fresh with no silent-invalid verdict and no
+# lost acked batch — then re-drive the recovered server under loadgen's
+# exactly-once accounting. CI runs the same script (crash-smoke job).
+smoke-crash:
+	sh scripts/crash_smoke.sh

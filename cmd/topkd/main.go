@@ -13,6 +13,16 @@
 //	topkd [-addr :7070] [-n 64] [-k 4] [-eps 1/8] [-engine lockstep]
 //	      [-shards 0] [-monitor approx] [-seed 1] [-faults spec]
 //	      [-lazy] [-max-tenants 0] [-max-batch 65536]
+//	      [-data-dir DIR] [-fsync always|interval|never] [-snapshot-every 1024]
+//
+// With -data-dir set the server is durable: every accepted batch is
+// journaled to a per-tenant write-ahead log before its step commits, all
+// tenants are replayed byte-identically on the next boot, and clients may
+// pass ?client=&seq= on updates for exactly-once ingest under retries.
+// -fsync picks when appends reach stable storage (lifecycle records are
+// always fsynced); -snapshot-every sets the steps between durable
+// snapshot sidecars. On graceful shutdown the server drains in-flight
+// updates, fsyncs, and closes every log.
 //
 // The API (see internal/serve for the full route table):
 //
@@ -56,6 +66,9 @@ func main() {
 	lazy := flag.Bool("lazy", true, "create unknown tenants from the defaults on first ingest")
 	maxTenants := flag.Int("max-tenants", 0, "tenant limit (0 = unlimited)")
 	maxBatch := flag.Int("max-batch", 0, "updates per request limit (0 = 65536)")
+	dataDir := flag.String("data-dir", "", "write-ahead log directory (empty = volatile, no durability)")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always | interval | never")
+	snapEvery := flag.Int("snapshot-every", 0, "committed steps between durable snapshots (0 = 1024)")
 	flag.Parse()
 
 	// Validate the default config eagerly — a typo should fail the boot,
@@ -84,7 +97,7 @@ func main() {
 		}
 	}
 
-	srv := serve.New(serve.Options{
+	srv, err := serve.New(serve.Options{
 		Defaults: serve.Config{
 			Nodes: *n, K: *k, Eps: *epsStr, Engine: *engine, Shards: *shards,
 			Monitor: *monitor, Seed: *seed, Faults: faults,
@@ -92,7 +105,11 @@ func main() {
 		Lazy:       *lazy,
 		MaxTenants: *maxTenants,
 		MaxBatch:   *maxBatch,
+		Durability: serve.Durability{Dir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapEvery},
 	})
+	if err != nil {
+		fail(err)
+	}
 	defer srv.Close()
 
 	hs := &http.Server{Addr: *addr, Handler: srv}
@@ -114,7 +131,13 @@ func main() {
 		fmt.Printf("topkd: %v — draining\n", s)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		if err := hs.Shutdown(ctx); err != nil {
+		err := hs.Shutdown(ctx)
+		// Close before reporting the shutdown error: in-flight commits
+		// drain tenant by tenant, every log is fsynced and closed, and the
+		// data directory is left ready for the next boot (fail() exits
+		// without running defers).
+		srv.Close()
+		if err != nil {
 			fail(err)
 		}
 	}

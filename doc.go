@@ -28,7 +28,11 @@
 //	internal/sim        run harness (drives runs through topk);
 //	                    internal/exp: experiments E1–E12
 //	internal/serve      multi-tenant HTTP frontend (tenant pool, handlers,
-//	                    SSE bridge) — consumes only the public topk facade
+//	                    SSE bridge, durable commit path) — consumes only the
+//	                    public topk facade and internal/wal
+//	internal/wal        per-tenant write-ahead batch log (CRC-framed records,
+//	                    torn-tail tolerant decode, snapshot sidecars) behind
+//	                    topkd -data-dir — consumes only topk
 //	internal/tools      internal CLIs: tools/bench (experiment tables),
 //	                    tools/tracegen (trace generation / offline pricing),
 //	                    tools/loadgen (closed-loop load driver for topkd)
@@ -39,9 +43,11 @@
 // Applications embed the topk package; cmd/ and examples/ are its reference
 // consumers, and CI (plus the topk boundary tests) enforces that neither
 // imports any internal/... package — with one sanctioned exception:
-// cmd/topkd imports internal/serve, which in turn may import nothing from
-// internal/, so the served path inherits every facade guarantee
-// (TestServeEquivalence proves it byte-identical to direct embedding).
+// cmd/topkd imports internal/serve, which in turn may import only
+// internal/wal (its durability layer), and internal/wal only topk — so the
+// served path inherits every facade guarantee (TestServeEquivalence proves
+// it byte-identical to direct embedding, and TestRecoveryEquivalence that
+// a crash-recovered tenant is byte-identical to an uninterrupted one).
 //
 // # Performance
 //

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/url"
+	"strconv"
 
 	"topkmon/topk"
 )
@@ -61,4 +63,26 @@ func DecodeBatch(r io.Reader, dst []topk.Update, max int) ([]topk.Update, error)
 		return nil, errors.New("serve: trailing data after batch array")
 	}
 	return dst, nil
+}
+
+// ParseIngestID extracts the idempotency parameters of an update request:
+// ?client= names the retrying client (any short string; "" is a valid
+// single-client identity) and ?seq= is its positive sequence number. seq
+// absent or 0 means "no idempotency requested" — the batch always commits
+// a fresh step. A seq that is present but unparsable is a client bug and
+// is rejected rather than silently committed without idempotency.
+func ParseIngestID(q url.Values) (client string, seq uint64, err error) {
+	client = q.Get("client")
+	if len(client) > 128 {
+		return "", 0, errors.New("serve: client id longer than 128 bytes")
+	}
+	raw := q.Get("seq")
+	if raw == "" {
+		return client, 0, nil
+	}
+	seq, err = strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("serve: seq: %w", err)
+	}
+	return client, seq, nil
 }

@@ -46,7 +46,10 @@ func FuzzBatchDecode(f *testing.F) {
 
 		// Handler-level: a tiny single-tenant server; the request either
 		// commits exactly one step or leaves the tenant untouched.
-		s := New(Options{Defaults: Config{Nodes: 4, K: 1, Seed: 1}, Lazy: true, MaxBatch: maxBatch})
+		s, err := New(Options{Defaults: Config{Nodes: 4, K: 1, Seed: 1}, Lazy: true, MaxBatch: maxBatch})
+		if err != nil {
+			t.Fatal(err)
+		}
 		defer s.Close()
 		seedReq := httptest.NewRequest(http.MethodPost, "/v1/f/update",
 			strings.NewReader(`[{"node":0,"value":7},{"node":1,"value":3}]`))

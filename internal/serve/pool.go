@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"topkmon/internal/wal"
 	"topkmon/topk"
 )
 
@@ -130,10 +131,24 @@ func (c Config) build() (*topk.Monitor, error) {
 // monitor serving it. The monitor carries its own mutex; the pool never
 // holds its lock across monitor calls, so one tenant's slow operation
 // (Reset, Close, a large batch) cannot stall another tenant's ingest.
+//
+// The unexported fields are the durability state (see durable.go): the
+// tenant mutex serializes COMMITTED mutations (journal order == commit
+// order) and is what graceful shutdown takes to drain in-flight updates.
+// On a volatile pool (no data dir) log is nil and the commit methods
+// reduce to plain monitor calls under the same mutex.
 type Tenant struct {
 	Name string
 	Cfg  Config
 	Mon  *topk.Monitor
+
+	mu        sync.Mutex        // serializes journal+commit; drains on close
+	store     *wal.Store        // nil on a volatile pool
+	log       *wal.Log          // nil on a volatile pool or after close
+	epoch     uint64            // current config epoch (bumped by reset)
+	seed      uint64            // seed of the current epoch
+	seqs      map[string]uint64 // exactly-once watermark: client → highest seq
+	sinceSnap int               // committed steps since the last snapshot
 }
 
 // nameRE bounds tenant names: URL-safe, non-empty, short. "tenants" is
@@ -152,6 +167,7 @@ type Pool struct {
 	defaults Config
 	lazy     bool
 	max      int
+	store    *wal.Store // nil = volatile pool (no durability)
 
 	mu      sync.RWMutex
 	tenants map[string]*Tenant
@@ -160,12 +176,15 @@ type Pool struct {
 // NewPool returns a pool whose lazily-created tenants use defaults (zero
 // fields fall back to the package baseline: 64 nodes, k=4, ε=1/8,
 // lockstep, approx, seed 1). lazy enables creation on first ingest; max
-// bounds the tenant count (0 = unlimited).
-func NewPool(defaults Config, lazy bool, max int) *Pool {
+// bounds the tenant count (0 = unlimited). A non-nil store makes every
+// tenant durable: creations and accepted batches are journaled, and the
+// pool takes ownership of the store (Pool.Close closes it).
+func NewPool(defaults Config, lazy bool, max int, store *wal.Store) *Pool {
 	return &Pool{
 		defaults: defaults.withDefaults(baseDefaults),
 		lazy:     lazy,
 		max:      max,
+		store:    store,
 		tenants:  make(map[string]*Tenant),
 	}
 }
@@ -226,7 +245,13 @@ func (p *Pool) Create(name string, cfg Config) (*Tenant, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Tenant{Name: name, Cfg: cfg, Mon: mon}
+	t := &Tenant{Name: name, Cfg: cfg, Mon: mon, store: p.store, seed: cfg.Seed}
+
+	// The tenant mutex is held across the map insert and the create-record
+	// journaling below, so a racing ingest that wins the map lookup still
+	// blocks until the tenant is durably created (or rolled back).
+	t.mu.Lock()
+	defer t.mu.Unlock()
 
 	p.mu.Lock()
 	if _, ok := p.tenants[name]; ok {
@@ -241,12 +266,23 @@ func (p *Pool) Create(name string, cfg Config) (*Tenant, error) {
 	}
 	p.tenants[name] = t
 	p.mu.Unlock()
+
+	if p.store != nil {
+		if err := t.journalCreate(); err != nil {
+			p.mu.Lock()
+			delete(p.tenants, name)
+			p.mu.Unlock()
+			mon.Close()
+			return nil, err
+		}
+	}
 	return t, nil
 }
 
-// Delete removes the tenant and closes its monitor (outside the pool
-// lock — in-flight requests holding the *Tenant see ErrClosed from the
-// monitor, never a torn state).
+// Delete removes the tenant, journals the tombstone, deletes its files,
+// and closes its monitor (outside the pool lock — in-flight requests
+// holding the *Tenant see ErrClosed from the monitor, never a torn state;
+// the tenant mutex drains any in-flight commit before the log closes).
 func (p *Pool) Delete(name string) error {
 	p.mu.Lock()
 	t := p.tenants[name]
@@ -255,7 +291,7 @@ func (p *Pool) Delete(name string) error {
 	if t == nil {
 		return ErrUnknownTenant
 	}
-	return t.Mon.Close()
+	return t.closeDurable()
 }
 
 // List returns a snapshot of the tenants, sorted by name.
@@ -270,13 +306,18 @@ func (p *Pool) List() []*Tenant {
 	return out
 }
 
-// Close closes every tenant monitor and empties the pool.
+// Close quiesces every tenant — each tenant mutex is taken, so in-flight
+// commits finish — then fsyncs and closes logs, monitors, and the store.
+// Durable files stay on disk for the next boot.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	ts := p.tenants
 	p.tenants = make(map[string]*Tenant)
 	p.mu.Unlock()
 	for _, t := range ts {
-		t.Mon.Close()
+		t.closeQuiesced()
+	}
+	if p.store != nil {
+		p.store.Close()
 	}
 }

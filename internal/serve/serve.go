@@ -3,13 +3,22 @@
 // (tenant id → topk.Monitor), the operational form of the ROADMAP's
 // "queryable distributed data structure for top-k".
 //
-// The package deliberately imports NOTHING from the rest of internal/ —
-// only the public topk package — so the server path inherits every facade
+// The package deliberately imports nothing from the rest of internal/
+// except internal/wal (the durability layer, which itself imports only the
+// public topk package) — so the server path inherits every facade
 // guarantee (byte-identical outputs to direct engine use, zero-alloc push
 // path, no-silent-wrong-answers under faults) instead of re-deriving them;
 // the api-boundary check pins this, and TestServeEquivalence proves the
 // HTTP transport adds nothing on top. cmd/topkd is the thin binary around
 // this package (the one sanctioned internal import of cmd/).
+//
+// With Options.Durability.Dir set, every accepted batch is journaled to a
+// per-tenant write-ahead log BEFORE its step commits, all tenants are
+// replayed byte-identically on boot, and the ingest routes accept
+// ?client=…&seq=… idempotency parameters: a retried POST with an
+// already-committed seq is acknowledged with {"duplicate":true} and
+// commits nothing — exactly-once ingest under client retries
+// (TestRecoveryEquivalence, durable_test.go).
 //
 // Routes (all tenant state lives under /v1/{tenant}):
 //
@@ -37,6 +46,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"topkmon/topk"
 )
@@ -55,6 +65,9 @@ type Options struct {
 	MaxBatch int
 	// MaxBodyBytes bounds an update request body (0 = 4 MiB).
 	MaxBodyBytes int64
+	// Durability configures the write-ahead batch log. The zero value
+	// (empty Dir) keeps the server volatile.
+	Durability Durability
 }
 
 // Server owns the tenant pool and the HTTP handlers. It is an
@@ -66,23 +79,41 @@ type Server struct {
 	maxBody  int64
 	mux      *http.ServeMux
 
+	// closing flips once on graceful shutdown: mutating routes refuse with
+	// 503 + Retry-After while Close drains in-flight commits tenant by
+	// tenant (each tenant mutex is taken before its monitor/log closes).
+	closing atomic.Bool
+
 	// batches recycles per-request decode buffers across the ingest path.
 	batches sync.Pool
 }
 
-// New builds a Server from opts.
-func New(opts Options) *Server {
+// New builds a Server from opts. With durability configured it opens the
+// data directory and replays every tenant found there before returning;
+// a log that cannot be recovered exactly (lost acked data, unreplayable
+// records) fails construction rather than serving a shorter history.
+func New(opts Options) (*Server, error) {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = 65536
 	}
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 4 << 20
 	}
+	store, err := opts.Durability.openStore()
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		pool:     NewPool(opts.Defaults, opts.Lazy, opts.MaxTenants),
+		pool:     NewPool(opts.Defaults, opts.Lazy, opts.MaxTenants, store),
 		maxBatch: opts.MaxBatch,
 		maxBody:  opts.MaxBodyBytes,
 		mux:      http.NewServeMux(),
+	}
+	if store != nil {
+		if err := s.pool.recover(); err != nil {
+			s.pool.Close()
+			return nil, err
+		}
 	}
 	s.batches.New = func() any { b := make([]topk.Update, 0, 256); return &b }
 
@@ -98,7 +129,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/{tenant}/cost", s.handleCost)
 	s.mux.HandleFunc("GET /v1/{tenant}/health", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/{tenant}/events", s.handleEvents)
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -108,8 +139,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // (pre-creating tenants from flags, closing on shutdown).
 func (s *Server) Pool() *Pool { return s.pool }
 
-// Close closes every tenant.
-func (s *Server) Close() { s.pool.Close() }
+// Close drains and shuts the server down: new mutations are refused with
+// 503 + Retry-After, in-flight commits finish (each tenant's mutex is
+// taken before its log/monitor closes), logs are fsynced and closed, and
+// the store is released. Durable files stay for the next boot.
+func (s *Server) Close() {
+	s.closing.Store(true)
+	s.pool.Close()
+}
+
+// draining refuses a mutating request during graceful shutdown.
+func (s *Server) draining(w http.ResponseWriter) bool {
+	if !s.closing.Load() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, http.StatusServiceUnavailable, errors.New("serve: shutting down"))
+	return true
+}
 
 // ---- wire shapes ----
 
@@ -119,6 +166,10 @@ type errorResponse struct {
 
 type updateResponse struct {
 	Step int64 `json:"step"`
+	// Duplicate reports that the request's ?seq= was already committed;
+	// the batch was acknowledged without committing a second step.
+	// omitempty keeps the non-idempotent wire shape byte-identical.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 type topkResponse struct {
@@ -188,14 +239,18 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
-// poolErr maps pool/facade errors to HTTP statuses.
+// poolErr maps pool/facade errors to HTTP statuses. The overload
+// responses (tenant-cap conflicts and limits) carry Retry-After so a
+// well-behaved client backs off instead of hammering the cap.
 func poolErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrUnknownTenant):
 		writeErr(w, http.StatusNotFound, err)
 	case errors.Is(err, ErrTenantExists):
+		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusConflict, err)
 	case errors.Is(err, ErrTooManyTenant):
+		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, topk.ErrClosed):
 		// The tenant was deleted while this request held it.
@@ -261,6 +316,9 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining(w) {
+		return
+	}
 	name := r.PathValue("tenant")
 	var cfg Config
 	if r.ContentLength != 0 {
@@ -282,6 +340,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.draining(w) {
+		return
+	}
 	if err := s.pool.Delete(r.PathValue("tenant")); err != nil {
 		poolErr(w, err)
 		return
@@ -300,12 +361,23 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleUpdate is the hot path: decode one batch (strictly, all-or-nothing
-// — see DecodeBatch), commit it as ONE monitored time step via
-// Monitor.UpdateBatch, and report the tenant's step count. With concurrent
-// posters the reported step is the monitor's count at read time, not
-// necessarily the step this batch committed — per-tenant ordering across
-// clients is the callers' business, exactly as with direct UpdateBatch use.
+// — see DecodeBatch), journal it when the server is durable, and commit it
+// as ONE monitored time step, reporting the tenant's step count.
+// ?client=…&seq=… makes the request idempotent: a retry of an
+// already-committed seq is acknowledged with {"duplicate":true} and
+// commits nothing. With concurrent posters the reported step is the
+// monitor's count at read time, not necessarily the step this batch
+// committed — per-tenant ordering across clients is the callers' business,
+// exactly as with direct UpdateBatch use.
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.draining(w) {
+		return
+	}
+	client, seq, err := ParseIngestID(r.URL.Query())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
 	t, ok := s.ingestTenant(w, r)
 	if !ok {
 		return
@@ -317,32 +389,43 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		var tooBig *http.MaxBytesError
 		status := http.StatusBadRequest
 		if errors.As(err, &tooBig) || errors.Is(err, ErrBatchTooLarge) {
+			// Overload, not malformation: tell the client when to retry
+			// (with a smaller batch).
 			status = http.StatusRequestEntityTooLarge
+			w.Header().Set("Retry-After", "1")
 		}
 		writeErr(w, status, err)
 		return
 	}
 	*bufp = batch
-	if err := t.Mon.UpdateBatch(batch); err != nil {
+	step, dup, err := t.CommitBatch(batch, client, seq)
+	if err != nil {
 		poolErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, updateResponse{Step: t.Mon.Steps()})
+	writeJSON(w, http.StatusOK, updateResponse{Step: step, Duplicate: dup})
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if s.draining(w) {
+		return
+	}
 	t, ok := s.ingestTenant(w, r)
 	if !ok {
 		return
 	}
-	if err := t.Mon.Flush(); err != nil {
+	step, err := t.CommitFlush()
+	if err != nil {
 		poolErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, updateResponse{Step: t.Mon.Steps()})
+	writeJSON(w, http.StatusOK, updateResponse{Step: step})
 }
 
 func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
+	if s.draining(w) {
+		return
+	}
 	t, ok := s.tenant(w, r)
 	if !ok {
 		return
@@ -356,11 +439,12 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if err := t.Mon.Reset(req.Seed); err != nil {
+	step, err := t.CommitReset(req.Seed)
+	if err != nil {
 		poolErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, updateResponse{Step: t.Mon.Steps()})
+	writeJSON(w, http.StatusOK, updateResponse{Step: step})
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {

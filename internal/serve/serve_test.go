@@ -33,7 +33,10 @@ func wantStatus(t *testing.T, rec *httptest.ResponseRecorder, want int) {
 
 func newTestServer(t *testing.T, opts Options) *Server {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(s.Close)
 	return s
 }

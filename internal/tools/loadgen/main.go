@@ -13,12 +13,25 @@
 // no-silent-wrong-answers guarantee an operational assertion, not just a
 // test one.
 //
+// Exactly-once accounting (-seq, on by default): every POST carries
+// ?client=&seq= idempotency parameters, so a durable topkd (-data-dir)
+// commits each batch exactly once even when loadgen retries it. -retries
+// N turns on retry-on-error: a failed request (transport error, 429, or
+// 5xx) is resent with the SAME seq after a growing backoff (honoring a
+// Retry-After header when the server sends one), which is how kill/restart
+// runs are driven without double-counting. After the drive, each tenant's
+// step-count delta (versus a pre-drive baseline scrape) is checked against
+// the batches this run actually acked: delta < acked means an acked batch
+// was LOST, delta > acked + unresolved-errors means a batch DOUBLE
+// COMMITTED — both fail the run.
+//
 // Usage:
 //
 //	loadgen [-addr http://127.0.0.1:7070] [-tenants 8] [-clients 64]
 //	        [-requests 200] [-batch 16] [-nodes 64] [-k 4] [-eps 1/8]
 //	        [-engine lockstep] [-shards 0] [-monitor approx] [-seed 1]
 //	        [-faults spec] [-tenant-prefix t] [-out FILE] [-wait 10s]
+//	        [-seq] [-retries 0] [-retry-backoff 100ms]
 package main
 
 import (
@@ -55,6 +68,11 @@ type params struct {
 	Monitor  string `json:"monitor"`
 	Seed     uint64 `json:"seed"`
 	Faults   string `json:"faults,omitempty"`
+	Seq      bool   `json:"seq"`
+	Retries  int    `json:"retries,omitempty"`
+
+	backoff time.Duration
+	runID   string // per-run client-id nonce, so reruns never collide on watermarks
 }
 
 type latencySummary struct {
@@ -67,6 +85,9 @@ type latencySummary struct {
 type results struct {
 	Requests      int            `json:"requests"`
 	Errors        int            `json:"errors"`
+	Acked         int            `json:"acked"`
+	Duplicates    int            `json:"duplicates"`
+	Resends       int            `json:"resends"`
 	Updates       int64          `json:"updates"`
 	WallSeconds   float64        `json:"wallSeconds"`
 	ReqPerSec     float64        `json:"reqPerSec"`
@@ -77,6 +98,8 @@ type results struct {
 type tenantReport struct {
 	Name          string `json:"name"`
 	Steps         int64  `json:"steps"`
+	StepDelta     int64  `json:"stepDelta"`
+	Acked         int    `json:"acked"`
 	Messages      int64  `json:"messages"`
 	Epochs        int64  `json:"epochs"`
 	Check         string `json:"check"`
@@ -107,9 +130,12 @@ type costScrape struct {
 }
 
 type clientStats struct {
-	lats []time.Duration
-	errs int
-	reqs int
+	lats    []time.Duration
+	errs    int
+	reqs    int
+	acked   int // batches with a 200 ack (counting a duplicate ack once)
+	dups    int // acks that reported duplicate:true (a retry landed twice)
+	resends int // retry attempts beyond the first send
 }
 
 func main() {
@@ -129,12 +155,17 @@ func main() {
 	faultSpec := flag.String("faults", "", "tenant fault spec (same syntax as topkd -faults)")
 	out := flag.String("out", "", "write the JSON snapshot here (default: stdout summary only)")
 	wait := flag.Duration("wait", 10*time.Second, "how long to wait for the server to come up")
+	seqMode := flag.Bool("seq", true, "send per-client sequence numbers (exactly-once accounting)")
+	retries := flag.Int("retries", 0, "retry a failed request this many times with the same seq (0 = no retries)")
+	backoff := flag.Duration("retry-backoff", 100*time.Millisecond, "base backoff between retries (grows linearly)")
 	flag.Parse()
 
 	p := params{
 		Addr: *addr, Prefix: *prefix, Tenants: *tenants, Clients: *clients, Requests: *requests,
 		Batch: *batch, Nodes: *nodes, K: *k, Eps: *epsStr, Engine: *engine,
 		Shards: *shards, Monitor: *monitor, Seed: *seed, Faults: *faultSpec,
+		Seq: *seqMode, Retries: *retries, backoff: *backoff,
+		runID: strconv.FormatInt(time.Now().UnixNano(), 36),
 	}
 	if p.Tenants < 1 || p.Clients < 1 || p.Requests < 1 || p.Batch < 1 {
 		fail(fmt.Errorf("tenants, clients, requests, batch must all be >= 1"))
@@ -155,6 +186,20 @@ func main() {
 		fail(err)
 	}
 
+	// Baseline scrape: step counts before this run's traffic, so the
+	// acked-vs-committed check below works against a server that already
+	// holds state (reruns, recovery runs).
+	baseline := make(map[string]int64, p.Tenants)
+	if p.Seq {
+		reports, _, err := scrapeTenants(hc, p)
+		if err != nil {
+			fail(err)
+		}
+		for _, tr := range reports {
+			baseline[tr.Name] = tr.Steps
+		}
+	}
+
 	// Drive: each client is pinned to one tenant (round-robin) and runs a
 	// seeded random-walk workload — deterministic per client index.
 	stats := make([]clientStats, p.Clients)
@@ -170,15 +215,24 @@ func main() {
 	wg.Wait()
 	wall := time.Since(start)
 
-	// Aggregate.
+	// Aggregate, tracking acked batches and unresolved errors per tenant
+	// (clients are pinned round-robin, so client c drives tenant c%T).
 	var all []time.Duration
 	res := results{WallSeconds: wall.Seconds()}
-	for _, st := range stats {
+	ackedBy := make(map[string]int, p.Tenants)
+	errsBy := make(map[string]int, p.Tenants)
+	for c, st := range stats {
 		res.Requests += st.reqs
 		res.Errors += st.errs
+		res.Acked += st.acked
+		res.Duplicates += st.dups
+		res.Resends += st.resends
+		name := tenantName(p, c%p.Tenants)
+		ackedBy[name] += st.acked
+		errsBy[name] += st.errs
 		all = append(all, st.lats...)
 	}
-	res.Updates = int64(res.Requests-res.Errors) * int64(p.Batch)
+	res.Updates = int64(res.Acked) * int64(p.Batch)
 	res.ReqPerSec = float64(res.Requests) / wall.Seconds()
 	res.UpdatesPerSec = float64(res.Updates) / wall.Seconds()
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
@@ -192,6 +246,27 @@ func main() {
 	reports, silent, err := scrapeTenants(hc, p)
 	if err != nil {
 		fail(err)
+	}
+	// Exactly-once accounting: each tenant's step delta must match the
+	// batches this run acked. Requests that errored out even after
+	// retries MAY have committed server-side (the ack was lost), so they
+	// widen the upper bound — but an acked batch that didn't commit, or a
+	// batch that committed twice, is never explainable.
+	var lost, doubled []string
+	for i := range reports {
+		tr := &reports[i]
+		tr.StepDelta = tr.Steps - baseline[tr.Name]
+		tr.Acked = ackedBy[tr.Name]
+		if !p.Seq {
+			continue
+		}
+		if tr.StepDelta < int64(tr.Acked) {
+			lost = append(lost, fmt.Sprintf("%s: %d steps for %d acked batches", tr.Name, tr.StepDelta, tr.Acked))
+		}
+		if tr.StepDelta > int64(tr.Acked)+int64(errsBy[tr.Name]) {
+			doubled = append(doubled, fmt.Sprintf("%s: %d steps for %d acked + %d unresolved",
+				tr.Name, tr.StepDelta, tr.Acked, errsBy[tr.Name]))
+		}
 	}
 
 	snap := snapshot{
@@ -211,8 +286,8 @@ func main() {
 
 	fmt.Printf("loadgen: %d clients × %d reqs × %d updates over %d tenants in %.2fs\n",
 		p.Clients, p.Requests, p.Batch, p.Tenants, res.WallSeconds)
-	fmt.Printf("loadgen: %.0f req/s, %.0f updates/s, errors=%d\n",
-		res.ReqPerSec, res.UpdatesPerSec, res.Errors)
+	fmt.Printf("loadgen: %.0f req/s, %.0f updates/s, errors=%d acked=%d dups=%d resends=%d\n",
+		res.ReqPerSec, res.UpdatesPerSec, res.Errors, res.Acked, res.Duplicates, res.Resends)
 	fmt.Printf("loadgen: latency ms p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
 		res.LatencyMs.P50Ms, res.LatencyMs.P90Ms, res.LatencyMs.P99Ms, res.LatencyMs.MaxMs)
 	for _, tr := range reports {
@@ -233,6 +308,12 @@ func main() {
 		fmt.Printf("loadgen: wrote %s\n", *out)
 	}
 
+	if len(lost) > 0 {
+		fail(fmt.Errorf("LOST ACKED BATCHES: %v", lost))
+	}
+	if len(doubled) > 0 {
+		fail(fmt.Errorf("DOUBLE-COMMITTED BATCHES: %v", doubled))
+	}
 	if res.Errors > 0 {
 		fail(fmt.Errorf("%d request errors", res.Errors))
 	}
@@ -307,11 +388,17 @@ func createTenants(hc *http.Client, p params) error {
 }
 
 // driveClient runs one client's closed loop: build a batch from its
-// random walk, POST it, record the latency.
+// random walk, POST it (with this client's next sequence number when -seq
+// is on), and record the latency. A failed attempt — transport error,
+// 429, or 5xx — is resent with the SAME seq up to -retries times, backing
+// off linearly (or as the server's Retry-After header instructs): against
+// a durable server the seq guarantees the batch commits exactly once no
+// matter which attempt lands.
 func driveClient(hc *http.Client, p params, c int) clientStats {
 	st := clientStats{lats: make([]time.Duration, 0, p.Requests)}
 	tenant := tenantName(p, c%p.Tenants)
 	url := p.Addr + "/v1/" + tenant + "/update"
+	clientID := p.runID + "-c" + strconv.Itoa(c)
 	rng := rand.New(rand.NewSource(int64(p.Seed) + int64(c)*7919))
 
 	walk := make([]int64, p.Nodes)
@@ -340,23 +427,63 @@ func driveClient(hc *http.Client, p params, c int) clientStats {
 			st.reqs++
 			continue
 		}
-		t0 := time.Now()
-		resp, err := hc.Post(url, "application/json", bytes.NewReader(buf.Bytes()))
-		lat := time.Since(t0)
+		target := url
+		if p.Seq {
+			target = fmt.Sprintf("%s?client=%s&seq=%d", url, clientID, r+1)
+		}
 		st.reqs++
-		if err != nil {
-			st.errs++
-			continue
+		acked := false
+		for attempt := 0; attempt <= p.Retries; attempt++ {
+			if attempt > 0 {
+				st.resends++
+			}
+			t0 := time.Now()
+			resp, err := hc.Post(target, "application/json", bytes.NewReader(buf.Bytes()))
+			lat := time.Since(t0)
+			if err != nil {
+				sleepBackoff(p, attempt, "")
+				continue
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				var ur struct {
+					Duplicate bool `json:"duplicate"`
+				}
+				if json.Unmarshal(body, &ur) == nil && ur.Duplicate {
+					st.dups++
+				}
+				st.acked = st.acked + 1
+				st.lats = append(st.lats, lat)
+				acked = true
+				break
+			}
+			if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+				sleepBackoff(p, attempt, resp.Header.Get("Retry-After"))
+				continue
+			}
+			break // a 4xx is a permanent rejection; retrying cannot help
 		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
+		if !acked {
 			st.errs++
-			continue
 		}
-		st.lats = append(st.lats, lat)
 	}
 	return st
+}
+
+// sleepBackoff waits before a retry: the server's Retry-After seconds when
+// given, otherwise the base backoff growing linearly with the attempt.
+func sleepBackoff(p params, attempt int, retryAfter string) {
+	if p.Retries == 0 {
+		return
+	}
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+			time.Sleep(time.Duration(secs) * time.Second)
+			return
+		}
+	}
+	time.Sleep(p.backoff * time.Duration(attempt+1))
 }
 
 func scrapeTenants(hc *http.Client, p params) ([]tenantReport, int, error) {

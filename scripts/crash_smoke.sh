@@ -1,0 +1,69 @@
+#!/bin/sh
+# Crash-restart smoke: the durability layer's end-to-end gate, run by
+# `make smoke-crash` and the CI crash-smoke job.
+#
+#   1. Boot topkd with -data-dir and drive it cleanly (run 1) — every batch
+#      acked and, under -fsync always, durable.
+#   2. Start a second drive and SIGKILL the server mid-load: the torn tail
+#      and the lost acks are exactly the crash model the WAL is built for.
+#   3. Restart topkd on the same data dir. Recovery must replay every
+#      tenant: for each tenant assert (a) the step count is at least run
+#      1's acked steps — no lost acked batch — and (b) health is Fresh
+#      with no silent-invalid verdict.
+#   4. Drive it again (run 3) with retries: loadgen's own exactly-once
+#      accounting (acked batches vs step delta) gates the recovered
+#      server's ingest path.
+set -eu
+
+ADDR=${ADDR:-127.0.0.1:7071}
+DATA_DIR=$(mktemp -d /tmp/topkd-crash-smoke.XXXXXX)
+OUT1=/tmp/crash_smoke_run1.json
+trap 'kill $PID 2>/dev/null || true; rm -rf "$DATA_DIR"' EXIT
+
+go build -o /tmp/topkd ./cmd/topkd
+go build -o /tmp/topkd-loadgen ./internal/tools/loadgen
+
+echo "== boot (fresh data dir $DATA_DIR)"
+/tmp/topkd -addr "$ADDR" -data-dir "$DATA_DIR" -fsync always &
+PID=$!
+
+echo "== run 1: clean drive (every ack durable)"
+/tmp/topkd-loadgen -addr "http://$ADDR" -tenants 4 -clients 16 -requests 40 -batch 8 \
+    -retries 2 -out "$OUT1"
+
+echo "== run 2: SIGKILL mid-load"
+(/tmp/topkd-loadgen -addr "http://$ADDR" -tenants 4 -clients 16 -requests 5000 -batch 8 \
+    -retries 0 >/dev/null 2>&1 || true) &
+LG=$!
+sleep 1
+kill -9 "$PID"
+wait "$LG" 2>/dev/null || true
+
+echo "== restart on the same data dir"
+/tmp/topkd -addr "$ADDR" -data-dir "$DATA_DIR" -fsync always &
+PID=$!
+for i in $(seq 1 50); do
+    curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+
+echo "== recovery asserts: no lost acked batch, Fresh, no silent-invalid"
+for t in $(jq -r '.tenants[].name' "$OUT1"); do
+    want=$(jq -r ".tenants[] | select(.name==\"$t\") | .steps" "$OUT1")
+    cost=$(curl -sf "http://$ADDR/v1/$t/cost")
+    steps=$(echo "$cost" | jq -r .steps)
+    state=$(echo "$cost" | jq -r .health.state)
+    silent=$(echo "$cost" | jq -r .silentInvalid)
+    echo "   tenant $t: recovered steps=$steps (run-1 acked $want) health=$state silentInvalid=$silent"
+    if [ "$steps" -lt "$want" ]; then
+        echo "FAIL: tenant $t lost acked batches ($steps < $want)"; exit 1
+    fi
+    if [ "$state" != "fresh" ] || [ "$silent" != "false" ]; then
+        echo "FAIL: tenant $t recovered unhealthy (state=$state silentInvalid=$silent)"; exit 1
+    fi
+done
+
+echo "== run 3: clean drive on the recovered server (exactly-once accounting)"
+/tmp/topkd-loadgen -addr "http://$ADDR" -tenants 4 -clients 16 -requests 40 -batch 8 -retries 3
+
+echo "== crash smoke OK"

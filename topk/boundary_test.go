@@ -57,31 +57,41 @@ func TestPublicEntryPointsImportNoInternal(t *testing.T) {
 
 // TestServeImportsOnlyPublicFacade is the other half of the topkd
 // exception: the HTTP frontend must stay a pure consumer of the public
-// topk package — no imports from the rest of internal/ — so every server
-// guarantee (byte-identical outputs, zero-alloc ingest, fault health) is
-// inherited from the facade rather than re-derived beside it.
+// topk package — no imports from the rest of internal/ except
+// internal/wal, its durability layer — so every server guarantee
+// (byte-identical outputs, zero-alloc ingest, fault health) is inherited
+// from the facade rather than re-derived beside it. The companion rule
+// closes the loop: internal/wal itself may import only the public topk
+// package, so even the durability layer consumes the supported API.
 func TestServeImportsOnlyPublicFacade(t *testing.T) {
-	fset := token.NewFileSet()
-	err := filepath.WalkDir(filepath.Join("..", "internal", "serve"), func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() || !strings.HasSuffix(path, ".go") {
-			return nil
-		}
-		f, perr := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
-		if perr != nil {
-			return perr
-		}
-		for _, imp := range f.Imports {
-			p := strings.Trim(imp.Path.Value, `"`)
-			if strings.HasPrefix(p, "topkmon/internal/") || p == "topkmon/internal" {
-				t.Errorf("%s imports %s — internal/serve may only consume the public topk facade", path, p)
+	check := func(dir string, allowed map[string]bool) {
+		fset := token.NewFileSet()
+		err := filepath.WalkDir(filepath.Join("..", "internal", dir), func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
 			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			f, perr := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if perr != nil {
+				return perr
+			}
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if strings.HasPrefix(p, "topkmon/internal/") || p == "topkmon/internal" {
+					if allowed[p] {
+						continue
+					}
+					t.Errorf("%s imports %s — internal/%s may only consume the public topk facade", path, p, dir)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking internal/%s: %v", dir, err)
 		}
-		return nil
-	})
-	if err != nil {
-		t.Fatalf("walking internal/serve: %v", err)
 	}
+	check("serve", map[string]bool{"topkmon/internal/wal": true})
+	check("wal", nil)
 }

@@ -67,6 +67,16 @@
 // keeping all buffers and goroutines, so long-running embedders can run
 // many sessions on one Monitor.
 //
+// The Reset contract is also the replay-recovery contract: a Monitor is a
+// pure function of (config, seed, batch sequence), so persisting those
+// inputs and re-driving them through Reset + UpdateBatch reconstructs the
+// monitor byte for byte — outputs, every cost counter, fault coins.
+// cmd/topkd's write-ahead batch log (internal/wal, topkd -data-dir) builds
+// crash recovery on exactly this property, and [Monitor.ValidateBatch]
+// exists for such journal-before-commit consumers: it runs UpdateBatch's
+// full input validation without committing, so a batch is only journaled
+// if its replay can never fail.
+//
 // [Monitor.Subscribe] delivers an [Event] whenever a committed step changed
 // the top-k set — the hook for HTTP/gRPC frontends and reactive consumers
 // ([Monitor.Unsubscribe] detaches one subscriber without closing the

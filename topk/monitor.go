@@ -198,6 +198,26 @@ func (m *Monitor) UpdateBatch(batch []Update) error {
 	return nil
 }
 
+// ValidateBatch reports whether UpdateBatch would accept every update in
+// the batch — the same node and value range checks, with no state
+// mutation. Callers that must make a batch durable before committing it
+// (write-ahead journaling, as in the HTTP frontend's recovery log)
+// validate first so the journal never records a batch the monitor would
+// reject on replay.
+func (m *Monitor) ValidateBatch(batch []Update) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	for _, u := range batch {
+		if err := m.checkPush(u.Node, u.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Flush commits the staged pushes as one time step. It always closes a
 // step, even with nothing staged — the heartbeat tick of a push source
 // that is idle but alive.

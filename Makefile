@@ -27,9 +27,10 @@ BENCH_SEL_OUT ?= BENCH_local_selectivity.json
 BENCH_VIO_OUT ?= BENCH_local_violation.json
 BENCH_SERVE_OUT ?= BENCH_local_serve.json
 BENCH_WAL_OUT ?= BENCH_local_wal.json
+BENCH_SKETCH_OUT ?= BENCH_local_sketch.json
 SERVE_ADDR ?= 127.0.0.1:7070
 
-.PHONY: all build fmt-check vet api-check test race fuzz check cover bench bench-smoke bench-selectivity bench-violation serve bench-serve bench-wal smoke-crash
+.PHONY: all build fmt-check vet api-check test race fuzz check cover bench bench-smoke bench-selectivity bench-violation bench-sketch serve bench-serve bench-wal smoke-crash
 
 all: check
 
@@ -53,8 +54,10 @@ vet:
 # testing); in exchange, internal/serve itself may import only
 # internal/wal (its durability layer) beyond the public topk facade, and
 # internal/wal in turn imports only topk — so the whole server path still
-# consumes the supported API. The topk boundary tests pin the same rules
-# inside `go test ./...`.
+# consumes the supported API. Two sketch-layer rules complete the map:
+# internal/sketch is a stdlib-only leaf (no module imports at all), and
+# the public topk/items layer consumes only topk + internal/sketch. The
+# topk boundary tests pin the same rules inside `go test ./...`.
 api-check:
 	@leaks=$$($(GO) list -f '{{.ImportPath}}: {{join .Imports " "}}' ./cmd/... ./examples/... \
 		| grep 'topkmon/internal' \
@@ -81,6 +84,18 @@ api-check:
 		echo "internal/wal may only consume the public topk facade, but imports:"; \
 		echo "$$walleaks"; exit 1; \
 	fi
+	@sketchleaks=$$($(GO) list -f '{{join .Imports "\n"}}' ./internal/sketch \
+		| grep '^topkmon' || true); \
+	if [ -n "$$sketchleaks" ]; then \
+		echo "internal/sketch must stay a stdlib-only leaf, but imports:"; \
+		echo "$$sketchleaks"; exit 1; \
+	fi
+	@itemsleaks=$$($(GO) list -f '{{join .Imports "\n"}}' ./topk/items \
+		| grep '^topkmon' | grep -v '^topkmon/topk$$' | grep -v '^topkmon/internal/sketch$$' || true); \
+	if [ -n "$$itemsleaks" ]; then \
+		echo "topk/items may only consume topk and internal/sketch, but imports:"; \
+		echo "$$itemsleaks"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -93,9 +108,11 @@ race:
 # fuzz gives the seeded fuzz targets a short randomized session each — the
 # interval algebra, the Pred.Bounds value-routing contract, the
 # filter-interval mirror's no-desync obligation under fault injection, the
-# HTTP frontend's all-or-nothing batch-decode path, and the WAL decoder's
+# HTTP frontend's all-or-nothing batch-decode path, the WAL decoder's
 # torn-write obligations (no panic, exact canonical prefix, idempotent
-# truncation) on arbitrary bytes.
+# truncation) on arbitrary bytes, and the streaming summaries' estimate
+# invariants (Space-Saving/Misra-Gries one-sided bounds, Count-Min
+# never-under-estimates, Reset replay identity) on arbitrary op tapes.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz FuzzIntervalContainment -fuzztime $(FUZZTIME) ./internal/filter/
@@ -103,12 +120,15 @@ fuzz:
 	$(GO) test -fuzz FuzzFilterMirror -fuzztime $(FUZZTIME) ./internal/lockstep/
 	$(GO) test -fuzz FuzzBatchDecode -fuzztime $(FUZZTIME) ./internal/serve/
 	$(GO) test -fuzz FuzzWALDecode -fuzztime $(FUZZTIME) ./internal/wal/
+	$(GO) test -fuzz FuzzSpaceSaving -fuzztime $(FUZZTIME) ./internal/sketch/
+	$(GO) test -fuzz FuzzCountMin -fuzztime $(FUZZTIME) ./internal/sketch/
 
 # cover prints per-package statement coverage for the engine-core packages
-# the violation-routing test matrix concentrates on: the index + mirror,
-# both engines, and the fault layer. CI publishes the same table.
+# the violation-routing test matrix concentrates on — the index + mirror,
+# both engines, and the fault layer — plus the sketch leaf the item layer
+# stands on. CI publishes the same table.
 cover:
-	$(GO) test -cover ./internal/vindex/ ./internal/lockstep/ ./internal/live/ ./internal/faults/
+	$(GO) test -cover ./internal/vindex/ ./internal/lockstep/ ./internal/live/ ./internal/faults/ ./internal/sketch/
 
 check: build fmt-check vet api-check test
 
@@ -149,6 +169,18 @@ bench-violation:
 		-benchtime=$(BENCHTIME) -json . > $(BENCH_VIO_OUT)
 	@grep -o '"Output":"Benchmark[^"]*"' $(BENCH_VIO_OUT) | sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//'
 	@echo "wrote $(BENCH_VIO_OUT)"
+
+# bench-sketch emits the sketch-layer tables: the summaries' hot paths
+# (BenchmarkSketchObserve/BenchmarkSketchHeavy — Observe stays 0 allocs/op),
+# one committed step of the item-monitoring layer (BenchmarkItemsStep), and
+# the E13 recall-vs-summary-size run (BenchmarkE13HeavyHitters), as
+# test2json into $(BENCH_SKETCH_OUT). The committed snapshot of this table
+# is BENCH_PR10.json. See BENCH.md.
+bench-sketch:
+	$(GO) test -run='^$$' -bench='^(BenchmarkSketchObserve|BenchmarkSketchHeavy|BenchmarkItemsStep|BenchmarkE13HeavyHitters)$$' -benchmem \
+		-benchtime=$(BENCHTIME) -json . > $(BENCH_SKETCH_OUT)
+	@grep -o '"Output":"Benchmark[^"]*"' $(BENCH_SKETCH_OUT) | sed -e 's/^"Output":"//' -e 's/"$$//' -e 's/\\t/\t/g' -e 's/\\n//'
+	@echo "wrote $(BENCH_SKETCH_OUT)"
 
 # serve runs the multi-tenant HTTP frontend on $(SERVE_ADDR) with the
 # stock per-server defaults (override via topkd flags, see cmd/topkd).

@@ -1,5 +1,5 @@
 // The root benchmarks regenerate every reproduction experiment
-// (one Benchmark per table/claim, E1–E12; see DESIGN.md §5 and
+// (one Benchmark per table/claim, E1–E13; see DESIGN.md §5 and
 // EXPERIMENTS.md) plus micro-benchmarks of the communication primitives.
 //
 // Run with: go test -bench=. -benchmem
@@ -19,9 +19,12 @@ import (
 	"topkmon/internal/protocol"
 	"topkmon/internal/rngx"
 	"topkmon/internal/sim"
+	"topkmon/internal/sketch"
 	"topkmon/internal/stream"
+	istream "topkmon/internal/stream/items"
 	"topkmon/internal/wire"
 	"topkmon/topk"
+	"topkmon/topk/items"
 )
 
 // benchExperiment runs one registered experiment per iteration (quick mode)
@@ -55,7 +58,8 @@ func BenchmarkE9PhaseAblation(b *testing.B)    { benchExperiment(b, "E9", 1) }
 func BenchmarkE10Compliance(b *testing.B)      { benchExperiment(b, "E10", 1) }
 func BenchmarkE11SweepAblation(b *testing.B)   { benchExperiment(b, "E11", 1) }
 
-func BenchmarkE12Selectivity(b *testing.B) { benchExperiment(b, "E12", 1) }
+func BenchmarkE12Selectivity(b *testing.B)  { benchExperiment(b, "E12", 1) }
+func BenchmarkE13HeavyHitters(b *testing.B) { benchExperiment(b, "E13", 1) }
 
 func BenchmarkE1ExistenceParallel(b *testing.B)      { benchExperiment(b, "E1", 0) }
 func BenchmarkE8EpsilonSavingsParallel(b *testing.B) { benchExperiment(b, "E8", 0) }
@@ -239,6 +243,116 @@ func BenchmarkSweepSelectivity(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// sketchKinds enumerates the streaming summaries for the sketch hot-path
+// benchmarks (sized to the E13 / topk-items operating point: 128 counters,
+// Count-Min 512x4 with a 128-item keeper).
+func sketchKinds() []struct {
+	name string
+	mk   func() sketch.Summary
+} {
+	return []struct {
+		name string
+		mk   func() sketch.Summary
+	}{
+		{"space-saving", func() sketch.Summary { return sketch.NewSpaceSaving(128) }},
+		{"misra-gries", func() sketch.Summary { return sketch.NewMisraGries(128) }},
+		{"count-min", func() sketch.Summary { return sketch.NewCountMin(512, 4, 128, 42) }},
+	}
+}
+
+// sketchTrace pre-generates a zipf-skewed item sequence outside the timed
+// loops so the sketch benchmarks measure only the summaries.
+func sketchTrace(n int) []uint64 {
+	gen := istream.NewZipf(1, 4096, n, 1.2, 99)
+	evs := gen.Next(0, make([]istream.Event, 0, n))
+	trace := make([]uint64, len(evs))
+	for i, e := range evs {
+		trace[i] = uint64(e.Item)
+	}
+	return trace
+}
+
+// BenchmarkSketchObserve measures the per-event ingest cost of each
+// summary on a zipf(1.2) item stream — the sketch layer's hot path.
+// 0 allocs/op is the enforced budget (sketch's TestObserveAllocs).
+func BenchmarkSketchObserve(b *testing.B) {
+	trace := sketchTrace(1 << 14)
+	for _, s := range sketchKinds() {
+		b.Run(s.name, func(b *testing.B) {
+			sum := s.mk()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sum.Observe(trace[i&(len(trace)-1)], 1)
+			}
+		})
+	}
+}
+
+// BenchmarkSketchHeavy measures extracting the ranked heavy list into a
+// reused buffer — the per-step cost each node pays in the items layer.
+func BenchmarkSketchHeavy(b *testing.B) {
+	trace := sketchTrace(1 << 14)
+	for _, s := range sketchKinds() {
+		b.Run(s.name, func(b *testing.B) {
+			sum := s.mk()
+			for _, it := range trace {
+				sum.Observe(it, 1)
+			}
+			buf := make([]sketch.Counter, 0, 128)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = sum.Heavy(128, buf[:0])
+				if len(buf) == 0 {
+					b.Fatal("empty heavy list")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkItemsStep measures one committed step of the item-monitoring
+// layer end to end — per-node heavy lists, candidate aggregation, and the
+// inner monitor's filter protocol — at the documented operating point
+// (8 nodes, 256 items, k=8, space-saving c=128), with the per-step event
+// batch pre-generated and replayed outside the measurement.
+func BenchmarkItemsStep(b *testing.B) {
+	const nodes, universe, k = 8, 256, 8
+	mon, err := items.New(items.Config{
+		Nodes: nodes, Items: universe, K: k,
+		Epsilon: topk.MustEpsilon(1, 8), Capacity: 128, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mon.Close()
+	gen := istream.NewZipf(nodes, universe, 1000, 1.1, 13)
+	const pregen = 64
+	batches := make([][]istream.Event, pregen)
+	for t := range batches {
+		batches[t] = gen.Next(t, nil)
+	}
+	step := func(i int) {
+		for _, e := range batches[i%pregen] {
+			if err := mon.Observe(e.Node, e.Item, e.Count); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := mon.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		step(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(i + 32)
 	}
 }
 

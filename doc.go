@@ -11,22 +11,31 @@
 // SUBPROTOCOL (Section 5.2), the Theorem 5.8 controller, and the
 // Corollary 5.9 half-error monitor — plus the offline optimal adversary the
 // competitive analyses compare against, the Theorem 5.1 lower-bound
-// adversary, and a benchmark harness (E1–E11) that reproduces the bound
+// adversary, and a benchmark harness (E1–E13) that reproduces the bound
 // shape of every theorem.
 //
 // Layout:
 //
 //	topk                the PUBLIC embeddable API: push-based Monitor facade
 //	                    over both engines — the single supported entry point
+//	topk/items          PUBLIC item-monitoring layer: per-node streaming
+//	                    summaries feed the monitor so it tracks top-k ITEMS
+//	                    (heavy hitters) across nodes — consumes only topk
+//	                    and internal/sketch
+//	internal/sketch     streaming summaries (Space-Saving, Misra-Gries,
+//	                    Count-Min) behind one Summary interface; stdlib-only
+//	                    leaf, allocation-free Observe, Reset(seed) replay
 //	internal/protocol   the paper's algorithms (the core contribution)
 //	internal/lockstep   deterministic engine (tests, experiments)
 //	internal/live       sharded concurrent engine (bit-identical semantics)
 //	internal/vindex     value-bucket index shared by both engines
 //	internal/offline    the offline optimum OPT (greedy segmentation)
 //	internal/oracle     ground truth + output validation
-//	internal/stream     workloads and adaptive adversaries
+//	internal/stream     workloads and adaptive adversaries;
+//	                    stream/items: item-granularity traces (zipfian,
+//	                    bursty, adversarial churn) + the recall@k evaluator
 //	internal/sim        run harness (drives runs through topk);
-//	                    internal/exp: experiments E1–E12
+//	                    internal/exp: experiments E1–E13
 //	internal/serve      multi-tenant HTTP frontend (tenant pool, handlers,
 //	                    SSE bridge, durable commit path) — consumes only the
 //	                    public topk facade and internal/wal
@@ -38,7 +47,8 @@
 //	                    tools/loadgen (closed-loop load driver for topkd)
 //	cmd/topkmon         live monitoring CLI — imports only topk
 //	cmd/topkd           multi-tenant HTTP ingest daemon over internal/serve
-//	examples/           five runnable scenarios — import only topk
+//	examples/           six runnable scenarios — import only topk (and
+//	                    topk/items for the heavyhitters demo)
 //
 // Applications embed the topk package; cmd/ and examples/ are its reference
 // consumers, and CI (plus the topk boundary tests) enforces that neither
@@ -101,7 +111,8 @@
 // `make bench` for machine-readable JSON (BENCH_*.json records the
 // trajectory across PRs: BENCH_PR1.json is the lockstep/oracle baseline,
 // BENCH_PR2.json the live-engine batching + engine-reuse deltas,
-// BENCH_PR3.json the value-index σ-scaling and worker-shard deltas; see
+// BENCH_PR3.json the value-index σ-scaling and worker-shard deltas,
+// BENCH_PR10.json the sketch/item-layer costs via `make bench-sketch`; see
 // BENCH.md for how to read them).
 //
 // The experiment harness fans independent trials and sweep points across

@@ -154,7 +154,7 @@ func All() []Experiment {
 		E1Existence(), E2MaxFind(), E3ExactCompetitive(), E4TopKProtocol(),
 		E5LowerBound(), E6Dense(), E7HalfEps(), E8EpsilonSavings(),
 		E9PhaseAblation(), E10Compliance(), E11SweepAblation(),
-		E12Selectivity(),
+		E12Selectivity(), E13HeavyHitters(),
 	}
 }
 

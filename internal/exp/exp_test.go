@@ -47,7 +47,7 @@ func TestRegistryMetadata(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 12 {
-		t.Errorf("expected 12 experiments, got %d", len(seen))
+	if len(seen) != 13 {
+		t.Errorf("expected 13 experiments, got %d", len(seen))
 	}
 }

@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"fmt"
+
+	"topkmon/internal/metrics"
+	istream "topkmon/internal/stream/items"
+	"topkmon/topk"
+	"topkmon/topk/items"
+)
+
+// E13HeavyHitters measures the sketch-backed ITEM monitoring layer end to
+// end: per-node streaming summaries (Space-Saving, Misra-Gries,
+// Count-Min) feed the ε-Top-k monitor with aggregated item estimates,
+// and the table reports recall@k against exact ground truth as a
+// function of the summary size, together with the protocol's message
+// bill. The expected shape: recall climbs to ~1 once the per-node
+// counter budget clears the trace's heavy-item count, while messages/step
+// stay governed by the filter protocol, not by the event volume —
+// constant-space summaries preserve top-k recall at a fraction of the
+// state. Count-Min is the probabilistic outlier: its keeper can pin a
+// collision-inflated item at tiny widths.
+func E13HeavyHitters() Experiment {
+	return Experiment{
+		ID:    "E13",
+		Title: "Sketch-backed item monitoring: recall@k vs summary size",
+		Claim: "ROADMAP sketch-backed heavy-hitter scenarios: constant-space summaries (Space-Saving, Misra-Gries, Count-Min) preserve ε-Top-k item recall",
+		Run: func(o Options) []*metrics.Table {
+			const (
+				nodes = 8
+				m     = 256
+				k     = 8
+				s     = 1.1
+			)
+			perStep, steps := 1000, 40
+			capacities := []int{16, 48, 128}
+			if o.Quick {
+				perStep, steps = 400, 15
+				capacities = []int{16, 64}
+			}
+			kinds := []items.SketchKind{items.SpaceSaving, items.MisraGries, items.CountMin}
+
+			type cellKey struct {
+				kind items.SketchKind
+				cap  int
+			}
+			grid := make([]cellKey, 0, len(kinds)*len(capacities))
+			for _, kind := range kinds {
+				for _, c := range capacities {
+					grid = append(grid, cellKey{kind, c})
+				}
+			}
+
+			type cell struct {
+				recall   float64
+				msgsStep float64
+				kthEst   int64
+				kthBound int64
+			}
+			cells := parMap(o, len(grid), func(i int) cell {
+				g := grid[i]
+				mon, err := items.New(items.Config{
+					Nodes: nodes, Items: m, K: k,
+					Epsilon: topk.MustEpsilon(1, 8),
+					Sketch:  g.kind, Capacity: g.cap,
+					Width: 4 * g.cap, Depth: 4, Track: g.cap,
+					Seed: o.Seed + uint64(i),
+				})
+				if err != nil {
+					panic(fmt.Sprintf("exp: E13 config: %v", err))
+				}
+				defer mon.Close()
+				gen := istream.NewZipf(nodes, m, perStep, s, o.Seed+uint64(i)*1013)
+				truth := istream.NewTruth(m)
+				var evs []istream.Event
+				for t := 0; t < steps; t++ {
+					evs = gen.Next(t, evs[:0])
+					for _, e := range evs {
+						if err := mon.Observe(e.Node, e.Item, e.Count); err != nil {
+							panic(fmt.Sprintf("exp: E13 observe: %v", err))
+						}
+					}
+					truth.ObserveEvents(evs)
+					if err := mon.Step(); err != nil {
+						panic(fmt.Sprintf("exp: E13 step: %v", err))
+					}
+				}
+				if err := mon.Check(); err != nil {
+					panic(fmt.Sprintf("exp: E13 check: %v", err))
+				}
+				out := mon.TopItems(nil)
+				var kthEst, kthBound int64
+				if len(out) > 0 {
+					kthEst, kthBound = mon.Estimate(out[len(out)-1])
+				}
+				cost := mon.Cost()
+				return cell{
+					recall:   truth.RecallAt(k, out),
+					msgsStep: float64(cost.Messages) / float64(cost.Steps),
+					kthEst:   kthEst,
+					kthBound: kthBound,
+				}
+			})
+
+			tb := metrics.NewTable(
+				fmt.Sprintf("E13: recall@%d and message cost vs per-node summary size (zipf s=%.1f, m=%d, n=%d)", k, s, m, nodes),
+				"sketch", "capacity", fmt.Sprintf("recall@%d", k), "msgs/step", "kth est", "kth bound")
+			for i, g := range grid {
+				c := cells[i]
+				tb.AddRow(g.kind.String(), g.cap,
+					fmt.Sprintf("%.3f", c.recall),
+					fmt.Sprintf("%.1f", c.msgsStep),
+					c.kthEst, c.kthBound)
+			}
+			return []*metrics.Table{tb}
+		},
+	}
+}

@@ -1,0 +1,211 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+)
+
+// CountMin is the Cormode–Muthukrishnan sketch: depth rows of width
+// counters, each row under an independent seeded hash; an item's estimate
+// is the minimum of its row cells. With non-negative deltas it never
+// under-estimates, and the standard analysis bounds the over-estimate by
+// eps*N with eps = e/width, failing with probability at most e^-depth —
+// probabilistic where Space-Saving and Misra-Gries are exact, which is why
+// the seed participates in Reset. Because a bare CMS cannot enumerate
+// items, a track-slot min-heap keeper (the min-heap + frequency-map top-k
+// of the heavy-hitters literature) retains the highest-estimate items seen
+// so Heavy works; the keeper is deterministic (ties broken by item id).
+type CountMin struct {
+	width, depth int
+	seed         uint64
+	rows         []int64 // depth * width, row-major
+	rowSeed      []uint64
+	total        int64
+
+	// Heavy keeper: up to track items with the largest estimates.
+	track int
+	hcnt  []int64
+	hitem []uint64
+	hn    int
+	hheap []int32
+	hpos  []int32
+	hidx  oaTable
+	ord   heavyOrder
+}
+
+// NewCountMin returns a Count-Min sketch of depth x width counters whose
+// heavy keeper retains the track highest-estimate items (all >= 1). The
+// seed derives the row hash functions.
+func NewCountMin(width, depth, track int, seed uint64) *CountMin {
+	if width < 1 || depth < 1 || track < 1 {
+		panic("sketch: CountMin width, depth, track must all be >= 1")
+	}
+	c := &CountMin{
+		width: width, depth: depth, seed: seed, track: track,
+		rows:    make([]int64, width*depth),
+		rowSeed: make([]uint64, depth),
+		hcnt:    make([]int64, track),
+		hitem:   make([]uint64, track),
+		hheap:   make([]int32, 0, track),
+		hpos:    make([]int32, track),
+		hidx:    newOATable(track),
+	}
+	c.ord = heavyOrder{order: make([]int32, 0, track), cnt: c.hcnt, item: c.hitem}
+	for i := range c.rowSeed {
+		c.rowSeed[i] = hashSeed(seed, i)
+	}
+	return c
+}
+
+// CountMinWidth returns the width achieving over-estimate <= eps*N in the
+// standard analysis (width = ceil(e/eps)).
+func CountMinWidth(eps float64) int { return int(math.Ceil(math.E / eps)) }
+
+// CountMinDepth returns the depth achieving failure probability <= delta
+// (depth = ceil(ln(1/delta))).
+func CountMinDepth(delta float64) int { return int(math.Ceil(math.Log(1 / delta))) }
+
+// Name implements Summary.
+func (c *CountMin) Name() string {
+	return fmt.Sprintf("count-min(w=%d,d=%d,track=%d)", c.width, c.depth, c.track)
+}
+
+// Total implements Summary.
+func (c *CountMin) Total() int64 { return c.total }
+
+// ErrorBound implements Summary: ceil(e*N/width), the eps*N of the
+// standard analysis. Unlike the counter sketches' exact bounds it holds
+// with probability 1-e^-depth per item; the unit tests pin it on seeded
+// traces where it is deterministic.
+func (c *CountMin) ErrorBound() int64 {
+	return int64(math.Ceil(math.E * float64(c.total) / float64(c.width)))
+}
+
+func (c *CountMin) cell(row int, item uint64) *int64 {
+	h := mix(item ^ c.rowSeed[row])
+	return &c.rows[row*c.width+int(h%uint64(c.width))]
+}
+
+// Observe implements Summary.
+func (c *CountMin) Observe(item uint64, delta int64) {
+	if delta <= 0 {
+		return
+	}
+	c.total += delta
+	est := int64(math.MaxInt64)
+	for r := 0; r < c.depth; r++ {
+		p := c.cell(r, item)
+		*p += delta
+		if *p < est {
+			est = *p
+		}
+	}
+	// Keeper update: track the item if it is already kept, there is room,
+	// or it now beats the smallest kept estimate (strictly — deterministic).
+	if slot := c.hidx.get(item); slot >= 0 {
+		c.hcnt[slot] = est
+		c.hSiftDown(c.hpos[slot])
+		return
+	}
+	if c.hn < c.track {
+		slot := int32(c.hn)
+		c.hn++
+		c.hcnt[slot] = est
+		c.hitem[slot] = item
+		c.hidx.put(item, slot)
+		c.hheap = append(c.hheap, slot)
+		c.hpos[slot] = int32(len(c.hheap) - 1)
+		c.hSiftUp(int32(len(c.hheap) - 1))
+		return
+	}
+	slot := c.hheap[0]
+	if est <= c.hcnt[slot] {
+		return
+	}
+	c.hidx.del(c.hitem[slot])
+	c.hcnt[slot] = est
+	c.hitem[slot] = item
+	c.hidx.put(item, slot)
+	c.hSiftDown(0)
+}
+
+// Estimate implements Summary.
+func (c *CountMin) Estimate(item uint64) (est, bound int64) {
+	est = int64(math.MaxInt64)
+	for r := 0; r < c.depth; r++ {
+		if v := *c.cell(r, item); v < est {
+			est = v
+		}
+	}
+	return est, c.ErrorBound()
+}
+
+// Heavy implements Summary: the keeper's items by (estimate descending,
+// item ascending). Kept estimates are refreshed lazily on Observe, so a
+// kept item whose cells grew through collisions reports its estimate as of
+// its last observation. Err is the shared eps*N bound.
+func (c *CountMin) Heavy(k int, dst []Counter) []Counter {
+	dst = appendHeavy(&c.ord, c.hn, k, dst, nil)
+	bound := c.ErrorBound()
+	for i := range dst {
+		dst[i].Err = bound
+	}
+	return dst
+}
+
+// Reset implements Summary: zero counters and keeper, re-derive the row
+// hashes from the new seed.
+func (c *CountMin) Reset(seed uint64) {
+	c.seed = seed
+	c.total = 0
+	clear(c.rows)
+	for i := range c.rowSeed {
+		c.rowSeed[i] = hashSeed(seed, i)
+	}
+	c.hn = 0
+	c.hheap = c.hheap[:0]
+	c.hidx.clear()
+}
+
+func (c *CountMin) hLess(a, b int32) bool {
+	if c.hcnt[a] != c.hcnt[b] {
+		return c.hcnt[a] < c.hcnt[b]
+	}
+	return c.hitem[a] < c.hitem[b]
+}
+
+func (c *CountMin) hSwap(i, j int32) {
+	c.hheap[i], c.hheap[j] = c.hheap[j], c.hheap[i]
+	c.hpos[c.hheap[i]] = i
+	c.hpos[c.hheap[j]] = j
+}
+
+func (c *CountMin) hSiftUp(i int32) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !c.hLess(c.hheap[i], c.hheap[p]) {
+			return
+		}
+		c.hSwap(i, p)
+		i = p
+	}
+}
+
+func (c *CountMin) hSiftDown(i int32) {
+	n := int32(len(c.hheap))
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && c.hLess(c.hheap[l], c.hheap[m]) {
+			m = l
+		}
+		if r < n && c.hLess(c.hheap[r], c.hheap[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		c.hSwap(i, m)
+		i = m
+	}
+}

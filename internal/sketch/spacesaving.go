@@ -1,0 +1,169 @@
+package sketch
+
+import "fmt"
+
+// SpaceSaving is the Metwally–Agrawal–El Abbadi stream-summary sketch: c
+// counters and a min-heap over them. A new item evicts the minimum counter
+// and inherits its count as the per-item over-estimation error, which
+// yields the classic guarantees (for every item x with true count f(x)):
+//
+//	Estimate(x) >= f(x)                      (never under-estimates)
+//	Estimate(x) - Err(x) <= f(x)             (per-item error is tracked)
+//	ErrorBound() = min counter <= Total()/c  (the epsilon*N bound, eps=1/c)
+//
+// Eviction is deterministic: the minimum counter, ties broken by the
+// smallest item id, so runs replay byte-identically.
+type SpaceSaving struct {
+	cap   int
+	cnt   []int64
+	err   []int64
+	item  []uint64
+	n     int
+	total int64
+
+	heap []int32 // heap of slot indices, min by (cnt, item)
+	pos  []int32 // slot -> heap position
+	idx  oaTable
+	ord  heavyOrder
+}
+
+// NewSpaceSaving returns a Space-Saving summary with capacity counters
+// (capacity >= 1).
+func NewSpaceSaving(capacity int) *SpaceSaving {
+	if capacity < 1 {
+		panic("sketch: SpaceSaving capacity must be >= 1")
+	}
+	s := &SpaceSaving{
+		cap:  capacity,
+		cnt:  make([]int64, capacity),
+		err:  make([]int64, capacity),
+		item: make([]uint64, capacity),
+		heap: make([]int32, 0, capacity),
+		pos:  make([]int32, capacity),
+		idx:  newOATable(capacity),
+	}
+	s.ord = heavyOrder{order: make([]int32, 0, capacity), cnt: s.cnt, item: s.item}
+	return s
+}
+
+// Name implements Summary.
+func (s *SpaceSaving) Name() string { return fmt.Sprintf("space-saving(c=%d)", s.cap) }
+
+// Total implements Summary.
+func (s *SpaceSaving) Total() int64 { return s.total }
+
+// ErrorBound implements Summary: the largest possible over-estimate of any
+// single item — the minimum counter once the summary is full, 0 before
+// (every count is exact until the first eviction).
+func (s *SpaceSaving) ErrorBound() int64 {
+	if s.n < s.cap {
+		return 0
+	}
+	return s.cnt[s.heap[0]]
+}
+
+// Observe implements Summary.
+func (s *SpaceSaving) Observe(item uint64, delta int64) {
+	if delta <= 0 {
+		return
+	}
+	s.total += delta
+	if slot := s.idx.get(item); slot >= 0 {
+		s.cnt[slot] += delta
+		s.siftDown(s.pos[slot])
+		return
+	}
+	if s.n < s.cap {
+		slot := int32(s.n)
+		s.n++
+		s.cnt[slot] = delta
+		s.err[slot] = 0
+		s.item[slot] = item
+		s.idx.put(item, slot)
+		s.heap = append(s.heap, slot)
+		s.pos[slot] = int32(len(s.heap) - 1)
+		s.siftUp(int32(len(s.heap) - 1))
+		return
+	}
+	// Evict the deterministic minimum: it vouches for the new item's count.
+	slot := s.heap[0]
+	s.idx.del(s.item[slot])
+	s.err[slot] = s.cnt[slot]
+	s.cnt[slot] += delta
+	s.item[slot] = item
+	s.idx.put(item, slot)
+	s.siftDown(0)
+}
+
+// Estimate implements Summary. A tracked item returns its counter and
+// recorded takeover error; an untracked item is bounded by the minimum
+// counter (it was evicted at or below that count), so est = bound = min.
+func (s *SpaceSaving) Estimate(item uint64) (est, bound int64) {
+	if slot := s.idx.get(item); slot >= 0 {
+		return s.cnt[slot], s.err[slot]
+	}
+	if s.n < s.cap {
+		return 0, 0 // never tracked and nothing ever evicted: true count is 0
+	}
+	m := s.cnt[s.heap[0]]
+	return m, m
+}
+
+// Heavy implements Summary.
+func (s *SpaceSaving) Heavy(k int, dst []Counter) []Counter {
+	return appendHeavy(&s.ord, s.n, k, dst, s.err)
+}
+
+// Reset implements Summary. Space-Saving is deterministic, so the seed
+// only honors the rewind contract.
+func (s *SpaceSaving) Reset(uint64) {
+	s.n = 0
+	s.total = 0
+	s.heap = s.heap[:0]
+	s.idx.clear()
+}
+
+// less orders heap entries by (count, item) ascending — the deterministic
+// eviction order.
+func (s *SpaceSaving) less(a, b int32) bool {
+	if s.cnt[a] != s.cnt[b] {
+		return s.cnt[a] < s.cnt[b]
+	}
+	return s.item[a] < s.item[b]
+}
+
+func (s *SpaceSaving) swap(i, j int32) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.pos[s.heap[i]] = i
+	s.pos[s.heap[j]] = j
+}
+
+func (s *SpaceSaving) siftUp(i int32) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(s.heap[i], s.heap[p]) {
+			return
+		}
+		s.swap(i, p)
+		i = p
+	}
+}
+
+func (s *SpaceSaving) siftDown(i int32) {
+	n := int32(len(s.heap))
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s.less(s.heap[l], s.heap[m]) {
+			m = l
+		}
+		if r < n && s.less(s.heap[r], s.heap[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s.swap(i, m)
+		i = m
+	}
+}

@@ -31,7 +31,14 @@
 //	        [-requests 200] [-batch 16] [-nodes 64] [-k 4] [-eps 1/8]
 //	        [-engine lockstep] [-shards 0] [-monitor approx] [-seed 1]
 //	        [-faults spec] [-tenant-prefix t] [-out FILE] [-wait 10s]
-//	        [-seq] [-retries 0] [-retry-backoff 100ms]
+//	        [-seq] [-retries 0] [-retry-backoff 100ms] [-workload uniform]
+//
+// -workload selects how each client spreads its batch across the tenant's
+// nodes: "uniform" (the default, every node equally likely) or "zipf:s"
+// with s > 1 (e.g. "zipf:1.2") for an item-skewed drive where a few hot
+// nodes absorb most updates — the heavy-hitter ingest shape. The pick
+// sequence stays a pure function of the client index and -seed, and the
+// exactly-once accounting is untouched by the choice.
 package main
 
 import (
@@ -46,6 +53,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -70,6 +78,7 @@ type params struct {
 	Faults   string `json:"faults,omitempty"`
 	Seq      bool   `json:"seq"`
 	Retries  int    `json:"retries,omitempty"`
+	Workload string `json:"workload"`
 
 	backoff time.Duration
 	runID   string // per-run client-id nonce, so reruns never collide on watermarks
@@ -158,17 +167,21 @@ func main() {
 	seqMode := flag.Bool("seq", true, "send per-client sequence numbers (exactly-once accounting)")
 	retries := flag.Int("retries", 0, "retry a failed request this many times with the same seq (0 = no retries)")
 	backoff := flag.Duration("retry-backoff", 100*time.Millisecond, "base backoff between retries (grows linearly)")
+	workload := flag.String("workload", "uniform", "node-selection workload: uniform | zipf:s (s > 1)")
 	flag.Parse()
 
 	p := params{
 		Addr: *addr, Prefix: *prefix, Tenants: *tenants, Clients: *clients, Requests: *requests,
 		Batch: *batch, Nodes: *nodes, K: *k, Eps: *epsStr, Engine: *engine,
 		Shards: *shards, Monitor: *monitor, Seed: *seed, Faults: *faultSpec,
-		Seq: *seqMode, Retries: *retries, backoff: *backoff,
+		Seq: *seqMode, Retries: *retries, backoff: *backoff, Workload: *workload,
 		runID: strconv.FormatInt(time.Now().UnixNano(), 36),
 	}
 	if p.Tenants < 1 || p.Clients < 1 || p.Requests < 1 || p.Batch < 1 {
 		fail(fmt.Errorf("tenants, clients, requests, batch must all be >= 1"))
+	}
+	if _, err := parseWorkload(p.Workload); err != nil {
+		fail(err)
 	}
 
 	hc := &http.Client{
@@ -400,6 +413,7 @@ func driveClient(hc *http.Client, p params, c int) clientStats {
 	url := p.Addr + "/v1/" + tenant + "/update"
 	clientID := p.runID + "-c" + strconv.Itoa(c)
 	rng := rand.New(rand.NewSource(int64(p.Seed) + int64(c)*7919))
+	pickNode := nodePicker(p, rng)
 
 	walk := make([]int64, p.Nodes)
 	for i := range walk {
@@ -414,7 +428,7 @@ func driveClient(hc *http.Client, p params, c int) clientStats {
 
 	for r := 0; r < p.Requests; r++ {
 		for b := range batch {
-			node := rng.Intn(p.Nodes)
+			node := pickNode()
 			walk[node] += rng.Int63n(401) - 200
 			if walk[node] < 0 {
 				walk[node] = 0
@@ -469,6 +483,37 @@ func driveClient(hc *http.Client, p params, c int) clientStats {
 		}
 	}
 	return st
+}
+
+// parseWorkload validates -workload and returns the zipf exponent (0 for
+// uniform).
+func parseWorkload(spec string) (float64, error) {
+	if spec == "" || spec == "uniform" {
+		return 0, nil
+	}
+	if s, ok := strings.CutPrefix(spec, "zipf:"); ok {
+		exp, err := strconv.ParseFloat(s, 64)
+		if err != nil || exp <= 1 {
+			return 0, fmt.Errorf("workload %q: zipf exponent must be a number > 1", spec)
+		}
+		return exp, nil
+	}
+	return 0, fmt.Errorf("workload %q: want uniform or zipf:s", spec)
+}
+
+// nodePicker returns the per-batch node selector: uniform by default, or
+// zipf-skewed over a per-client shuffled node order so the hot node set
+// differs between clients (the skew is per tenant stream, not a single
+// global hot node). Both draw only from rng, keeping the sequence a pure
+// function of the client index and -seed.
+func nodePicker(p params, rng *rand.Rand) func() int {
+	exp, err := parseWorkload(p.Workload)
+	if err != nil || exp == 0 {
+		return func() int { return rng.Intn(p.Nodes) }
+	}
+	z := rand.NewZipf(rng, exp, 1, uint64(p.Nodes-1))
+	order := rng.Perm(p.Nodes)
+	return func() int { return order[int(z.Uint64())] }
 }
 
 // sleepBackoff waits before a retry: the server's Retry-After seconds when

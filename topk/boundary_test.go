@@ -95,3 +95,74 @@ func TestServeImportsOnlyPublicFacade(t *testing.T) {
 	check("serve", map[string]bool{"topkmon/internal/wal": true})
 	check("wal", nil)
 }
+
+// TestSketchImportsNothingFromModule pins the sketch layer's isolation:
+// internal/sketch is a pure-stdlib leaf — it imports NOTHING from this
+// module (not even rngx; its seed mixing is self-contained) — so the
+// streaming summaries stay reusable and their replay contract cannot
+// entangle with the engine packages. Test files are exempt (they may use
+// module helpers).
+func TestSketchImportsNothingFromModule(t *testing.T) {
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(filepath.Join("..", "internal", "sketch"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if perr != nil {
+			return perr
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == "topkmon" || strings.HasPrefix(p, "topkmon/") {
+				t.Errorf("%s imports %s — internal/sketch must stay a stdlib-only leaf", path, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking internal/sketch: %v", err)
+	}
+}
+
+// TestItemsLayerBoundary pins the item-monitoring layer's dependencies:
+// topk/items is a PUBLIC subpackage built strictly on the public facade
+// plus the sketch leaf — topkmon/topk and topkmon/internal/sketch and
+// nothing else from the module — so it can never reach around the facade
+// into the engines or protocols. Test files are exempt (they drive the
+// layer with internal/stream/items traces).
+func TestItemsLayerBoundary(t *testing.T) {
+	allowed := map[string]bool{
+		"topkmon/topk":            true,
+		"topkmon/internal/sketch": true,
+	}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir("items", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if perr != nil {
+			return perr
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == "topkmon" || strings.HasPrefix(p, "topkmon/") {
+				if allowed[p] {
+					continue
+				}
+				t.Errorf("%s imports %s — topk/items may only consume topk and internal/sketch", path, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking topk/items: %v", err)
+	}
+}
